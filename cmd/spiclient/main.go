@@ -1,0 +1,173 @@
+// Command spiclient issues SOAP calls against an SPI server from the
+// command line — single calls or packed batches.
+//
+// Usage:
+//
+//	spiclient -addr localhost:8080 -service Echo -op echo data=hello n:int=3
+//	spiclient -addr localhost:8080 -service WeatherService -op GetWeather CityName=Beijing
+//	spiclient -addr localhost:8080 -pack 8 -service Echo -op echo data=hi
+//	spiclient -addr localhost:8080 -wsdl Echo
+//
+// Parameters are name=value pairs; a type may be given as name:type=value
+// with type one of string (default), int, float, bool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	spi "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "server address")
+	service := flag.String("service", "", "service name")
+	op := flag.String("op", "", "operation name")
+	pack := flag.Int("pack", 1, "pack this many copies of the call into one SOAP message")
+	wsdlSvc := flag.String("wsdl", "", "fetch and print the WSDL of a service, then exit")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-exchange timeout")
+	wssUser := flag.String("wss-user", "", "sign requests with WS-Security as this user")
+	wssSecret := flag.String("wss-secret", "", "shared secret for -wss-user")
+	flag.Parse()
+
+	cfg := spi.ClientConfig{
+		Dial:    func() (net.Conn, error) { return net.Dial("tcp", *addr) },
+		Timeout: *timeout,
+	}
+	if *wssUser != "" {
+		cfg.HeaderProviders = []spi.HeaderProvider{
+			&spi.WSSecuritySigner{Username: *wssUser, Secret: []byte(*wssSecret)},
+		}
+	}
+	client, err := spi.NewClient(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	if *wsdlSvc != "" {
+		fetchWSDL(*addr, *wsdlSvc, *timeout)
+		return
+	}
+	if *service == "" || *op == "" {
+		fmt.Fprintln(os.Stderr, "spiclient: -service and -op are required (or -wsdl)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	params, err := parseParams(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	if *pack <= 1 {
+		results, err := client.Call(*service, *op, params...)
+		if err != nil {
+			fatal(err)
+		}
+		printResults(0, results)
+	} else {
+		batch := client.NewBatch()
+		calls := make([]*spi.Call, *pack)
+		for i := range calls {
+			calls[i] = batch.Add(*service, *op, params...)
+		}
+		if err := batch.Send(); err != nil {
+			fatal(err)
+		}
+		for i, c := range calls {
+			results, err := c.Wait()
+			if err != nil {
+				fmt.Printf("[%d] FAULT: %v\n", i, err)
+				continue
+			}
+			printResults(i, results)
+		}
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start))
+}
+
+// parseParams converts name[:type]=value arguments into fields.
+func parseParams(args []string) ([]spi.Field, error) {
+	var params []spi.Field
+	for _, arg := range args {
+		eq := strings.IndexByte(arg, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("bad parameter %q (want name=value)", arg)
+		}
+		name, raw := arg[:eq], arg[eq+1:]
+		typ := "string"
+		if colon := strings.IndexByte(name, ':'); colon >= 0 {
+			name, typ = name[:colon], name[colon+1:]
+		}
+		var v spi.Value
+		switch typ {
+		case "string":
+			v = raw
+		case "int":
+			n, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad int %q: %v", raw, err)
+			}
+			v = n
+		case "float":
+			f, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad float %q: %v", raw, err)
+			}
+			v = f
+		case "bool":
+			b, err := strconv.ParseBool(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bad bool %q: %v", raw, err)
+			}
+			v = b
+		default:
+			return nil, fmt.Errorf("unknown type %q (want string, int, float, bool)", typ)
+		}
+		params = append(params, spi.F(name, v))
+	}
+	return params, nil
+}
+
+func printResults(i int, results []spi.Field) {
+	for _, r := range results {
+		fmt.Printf("[%d] %s = %v\n", i, r.Name, r.Value)
+	}
+}
+
+// fetchWSDL issues a plain HTTP GET for the service description.
+func fetchWSDL(addr, service string, timeout time.Duration) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	fmt.Fprintf(conn, "GET /services/%s?wsdl HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", service, addr)
+	buf := make([]byte, 1<<20)
+	var out []byte
+	for {
+		n, err := conn.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	// Strip the HTTP header block.
+	if i := strings.Index(string(out), "\r\n\r\n"); i >= 0 {
+		out = out[i+4:]
+	}
+	fmt.Println(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spiclient: %v\n", err)
+	os.Exit(1)
+}

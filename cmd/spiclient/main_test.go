@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	spi "repro"
+)
+
+func TestParseParams(t *testing.T) {
+	params, err := parseParams([]string{
+		"name=hello",
+		"count:int=42",
+		"price:float=1.5",
+		"flag:bool=true",
+		"explicit:string=x=y", // value may contain '='
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []spi.Field{
+		spi.F("name", "hello"),
+		spi.F("count", int64(42)),
+		spi.F("price", 1.5),
+		spi.F("flag", true),
+		spi.F("explicit", "x=y"),
+	}
+	if len(params) != len(want) {
+		t.Fatalf("got %d params", len(params))
+	}
+	for i := range want {
+		if params[i].Name != want[i].Name || !spi.ValueEqual(params[i].Value, want[i].Value) {
+			t.Errorf("param %d = %+v, want %+v", i, params[i], want[i])
+		}
+	}
+}
+
+func TestParseParamsErrors(t *testing.T) {
+	cases := [][]string{
+		{"novalue"},
+		{"=x"},
+		{"n:int=notanumber"},
+		{"n:float=wide"},
+		{"n:bool=maybe"},
+		{"n:complex=1+2i"},
+	}
+	for _, args := range cases {
+		if _, err := parseParams(args); err == nil {
+			t.Errorf("parseParams(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Quickstart: deploy a service, call it once per message, then pack three
+// calls into one SOAP message — the smallest end-to-end tour of the SPI
+// public API, over real TCP on the loopback interface.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	spi "repro"
+)
+
+func main() {
+	// 1. Deploy a service. Handlers are plain functions over named typed
+	//    parameters; they never see transport, packing or threads.
+	container := spi.NewContainer()
+	greeter := container.MustAddService("Greeter", "urn:example:Greeter", "says hello")
+	greeter.MustRegister("Hello", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+		name := "world"
+		for _, p := range params {
+			if p.Name == "name" {
+				name, _ = p.Value.(string)
+			}
+		}
+		return []spi.Field{spi.F("greeting", "hello, "+name)}, nil
+	}, "greets the caller")
+
+	// 2. Serve it over TCP.
+	server, err := spi.NewServer(spi.ServerConfig{Container: container})
+	if err != nil {
+		log.Fatal(err)
+	}
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go server.Serve(listener)
+	defer server.Close()
+	addr := listener.Addr().String()
+	fmt.Println("serving on", addr)
+
+	// 3. A client. Define() teaches it the service's XML namespace (in a
+	//    full deployment this comes from the WSDL).
+	client, err := spi.NewClient(spi.ClientConfig{
+		Dial:    func() (net.Conn, error) { return net.Dial("tcp", addr) },
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	client.Define("Greeter", "urn:example:Greeter")
+
+	// 4. The traditional interface: one call, one SOAP message.
+	results, err := client.Call("Greeter", "Hello", spi.F("name", "SPI"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("single call:", results[0].Value)
+
+	// 5. The pack interface: three calls, ONE SOAP message, executed
+	//    concurrently on the server's application stage.
+	batch := client.NewBatch()
+	a := batch.Add("Greeter", "Hello", spi.F("name", "Wang"))
+	b := batch.Add("Greeter", "Hello", spi.F("name", "Tong"))
+	c := batch.Add("Greeter", "Hello", spi.F("name", "Liu"))
+	if err := batch.Send(); err != nil {
+		log.Fatal(err)
+	}
+	for _, call := range []*spi.Call{a, b, c} {
+		res, err := call.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("packed call:", res[0].Value)
+	}
+
+	stats := client.Stats()
+	fmt.Printf("issued %d calls in %d SOAP messages (%d packed batch)\n",
+		stats.Calls, stats.Envelopes, stats.Batches)
+}

@@ -1,0 +1,221 @@
+// Travelagent: the paper's §3.1/§4.3 use case (from the W3C Web Services
+// Architecture Usage Scenarios) built against the public API. A travel
+// agent books a vacation package: it queries three airline services and
+// three hotel services, reserves the cheapest of each, authorizes payment
+// and confirms — eleven service invocations. The two query fan-outs
+// (steps 1 and 3) are logically concurrent, so the SPI pack interface
+// ships each as one SOAP message instead of three.
+//
+// The example runs both modes over the simulated 100 Mbit testbed link and
+// reports times and message counts; see cmd/travelagent for the full
+// measured experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	spi "repro"
+)
+
+// deployVendors registers three airline services, three hotel services and
+// a payment service in one container, mirroring the paper's deployment.
+func deployVendors(container *spi.Container) {
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("Airline%d", i)
+		price := 400.0 + float64(i*50) // Airline1 is cheapest
+		svc := container.MustAddService(name, "urn:spi:"+name, "flights")
+		svc.MustRegister("QueryFlights", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+			time.Sleep(2 * time.Millisecond) // fare computation
+			return []spi.Field{
+				spi.F("flight", name+"-F1"),
+				spi.F("price", price),
+			}, nil
+		}, "quotes the best fare")
+		svc.MustRegister("Reserve", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+			return []spi.Field{spi.F("reservedID", int64(7))}, nil
+		}, "reserves a flight")
+		svc.MustRegister("Confirm", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+			return []spi.Field{spi.F("ok", true)}, nil
+		}, "confirms a reservation")
+	}
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("Hotel%d", i)
+		price := 120.0 + float64(i*20) // Hotel1 is cheapest
+		svc := container.MustAddService(name, "urn:spi:"+name, "rooms")
+		svc.MustRegister("QueryRooms", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+			time.Sleep(2 * time.Millisecond)
+			return []spi.Field{
+				spi.F("room", name+"-R1"),
+				spi.F("price", price),
+			}, nil
+		}, "quotes the best room")
+		svc.MustRegister("Reserve", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+			return []spi.Field{spi.F("reservedID", int64(9))}, nil
+		}, "reserves a room")
+		svc.MustRegister("Confirm", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+			return []spi.Field{spi.F("ok", true)}, nil
+		}, "confirms a reservation")
+	}
+	cc := container.MustAddService("CreditCard", "urn:spi:CreditCard", "payments")
+	cc.MustRegister("ConfirmPayment", func(ctx *spi.HandlerContext, params []spi.Field) ([]spi.Field, error) {
+		return []spi.Field{spi.F("authorizationID", "AUTH-42")}, nil
+	}, "authorizes a payment")
+}
+
+// bookVacation runs the seven steps of Figure 8 and returns the elapsed
+// time. With packed true, steps 1 and 3 each use one packed message.
+func bookVacation(client *spi.Client, packed bool) (time.Duration, error) {
+	start := time.Now()
+
+	// Step 1: query flights from every airline.
+	type offer struct {
+		vendor string
+		item   string
+		price  float64
+	}
+	collect := func(vendor string, res []spi.Field) offer {
+		o := offer{vendor: vendor}
+		for _, f := range res {
+			switch f.Name {
+			case "flight", "room":
+				o.item, _ = f.Value.(string)
+			case "price":
+				o.price, _ = f.Value.(float64)
+			}
+		}
+		return o
+	}
+	queryAll := func(vendors []string, op string, params ...spi.Field) ([]offer, error) {
+		offers := make([]offer, 0, len(vendors))
+		if packed {
+			batch := client.NewBatch()
+			calls := make([]*spi.Call, len(vendors))
+			for i, v := range vendors {
+				calls[i] = batch.Add(v, op, params...)
+			}
+			if err := batch.Send(); err != nil {
+				return nil, err
+			}
+			for i, c := range calls {
+				res, err := c.Wait()
+				if err != nil {
+					return nil, err
+				}
+				offers = append(offers, collect(vendors[i], res))
+			}
+			return offers, nil
+		}
+		for _, v := range vendors {
+			res, err := client.Call(v, op, params...)
+			if err != nil {
+				return nil, err
+			}
+			offers = append(offers, collect(v, res))
+		}
+		return offers, nil
+	}
+	cheapest := func(offers []offer) offer {
+		best := offers[0]
+		for _, o := range offers[1:] {
+			if o.price < best.price {
+				best = o
+			}
+		}
+		return best
+	}
+
+	airlines := []string{"Airline1", "Airline2", "Airline3"}
+	hotels := []string{"Hotel1", "Hotel2", "Hotel3"}
+
+	flights, err := queryAll(airlines, "QueryFlights", spi.F("from", "Beijing"), spi.F("to", "Shanghai"))
+	if err != nil {
+		return 0, err
+	}
+	flight := cheapest(flights)
+
+	// Step 2: reserve the chosen flight.
+	if _, err := client.Call(flight.vendor, "Reserve", spi.F("flight", flight.item)); err != nil {
+		return 0, err
+	}
+
+	// Step 3: query rooms from every hotel.
+	rooms, err := queryAll(hotels, "QueryRooms", spi.F("city", "Shanghai"))
+	if err != nil {
+		return 0, err
+	}
+	room := cheapest(rooms)
+
+	// Step 4: reserve the chosen room.
+	if _, err := client.Call(room.vendor, "Reserve", spi.F("room", room.item)); err != nil {
+		return 0, err
+	}
+
+	// Step 5: authorize payment.
+	res, err := client.Call("CreditCard", "ConfirmPayment",
+		spi.F("amount", flight.price+room.price), spi.F("card", "4111-1111"))
+	if err != nil {
+		return 0, err
+	}
+	auth, _ := res[0].Value.(string)
+
+	// Steps 6 and 7: confirm flight and room with the authorization.
+	if _, err := client.Call(flight.vendor, "Confirm",
+		spi.F("reservedID", int64(7)), spi.F("authorizationID", auth)); err != nil {
+		return 0, err
+	}
+	if _, err := client.Call(room.vendor, "Confirm",
+		spi.F("reservedID", int64(9)), spi.F("authorizationID", auth)); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+func main() {
+	container := spi.NewContainer()
+	deployVendors(container)
+
+	// The simulated 100 Mbit testbed link of the paper's evaluation.
+	link := spi.NewLink(spi.LAN100())
+	listener, err := link.Listen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := spi.NewServer(spi.ServerConfig{Container: container})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go server.Serve(listener)
+	defer server.Close()
+	defer link.Close()
+
+	client, err := spi.NewClient(spi.ClientConfig{Dial: link.Dial, Timeout: 30 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	for _, packed := range []bool{false, true} {
+		// Warm up once, then measure a few bookings.
+		if _, err := bookVacation(client, packed); err != nil {
+			log.Fatal(err)
+		}
+		link.ResetStats()
+		var total time.Duration
+		const runs = 5
+		for i := 0; i < runs; i++ {
+			d, err := bookVacation(client, packed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += d
+		}
+		mode := "11 separate messages"
+		if packed {
+			mode = "steps 1+3 packed (7 messages)"
+		}
+		fmt.Printf("%-30s  %7.2f ms per booking, %d connections for %d bookings\n",
+			mode, float64(total.Microseconds())/1000/runs, link.Stats().Dials, runs)
+	}
+}

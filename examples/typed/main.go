@@ -1,0 +1,132 @@
+// Typed: the reflection binding layer. WSDL-era toolkits generated typed
+// stubs from service descriptions; here the Go type system plays that
+// role: services are functions over plain structs, clients call through
+// struct values, and the binding maps both onto SOAP parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	spi "repro"
+)
+
+// The service contract, as plain Go types.
+
+// SearchRequest asks for books matching a query.
+type SearchRequest struct {
+	Query      string `soap:"query"`
+	MaxResults int    `soap:"maxResults"`
+}
+
+// Book is one catalogue entry.
+type Book struct {
+	Title  string  `soap:"title"`
+	Author string  `soap:"author"`
+	Price  float64 `soap:"price"`
+}
+
+// SearchResponse carries the matches.
+type SearchResponse struct {
+	Books []Book `soap:"books"`
+	Total int    `soap:"total"`
+}
+
+var catalogue = []Book{
+	{Title: "The SOAP Envelope", Author: "van Engelen", Price: 35.0},
+	{Title: "Staged Event-Driven Architectures", Author: "Welsh", Price: 42.0},
+	{Title: "Differential Serialization", Author: "Abu-Ghazaleh", Price: 28.5},
+	{Title: "Grid Services in Practice", Author: "Wang", Price: 31.0},
+}
+
+func main() {
+	container := spi.NewContainer()
+	svc := container.MustAddService("Catalogue", "urn:example:Catalogue", "book search")
+	svc.MustRegister("Search", spi.MustTypedHandler(
+		func(ctx *spi.HandlerContext, req SearchRequest) (SearchResponse, error) {
+			if req.Query == "" {
+				return SearchResponse{}, fmt.Errorf("empty query")
+			}
+			max := req.MaxResults
+			if max <= 0 {
+				max = len(catalogue)
+			}
+			var resp SearchResponse
+			for _, b := range catalogue {
+				if strings.Contains(strings.ToLower(b.Title), strings.ToLower(req.Query)) ||
+					strings.Contains(strings.ToLower(b.Author), strings.ToLower(req.Query)) {
+					resp.Total++
+					if len(resp.Books) < max {
+						resp.Books = append(resp.Books, b)
+					}
+				}
+			}
+			return resp, nil
+		}), "finds books by title or author substring")
+
+	server, err := spi.NewServer(spi.ServerConfig{Container: container})
+	if err != nil {
+		log.Fatal(err)
+	}
+	listener, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go server.Serve(listener)
+	defer server.Close()
+
+	client, err := spi.NewClient(spi.ClientConfig{
+		Dial:    func() (net.Conn, error) { return net.Dial("tcp", listener.Addr().String()) },
+		Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	client.Define("Catalogue", "urn:example:Catalogue")
+
+	// A typed call: structs in, structs out; the envelope is invisible.
+	var resp SearchResponse
+	err = spi.CallTyped(func(p ...spi.Field) ([]spi.Field, error) {
+		return client.Call("Catalogue", "Search", p...)
+	}, SearchRequest{Query: "seri", MaxResults: 5}, &resp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d match(es):\n", resp.Total)
+	for _, b := range resp.Books {
+		fmt.Printf("  %-34s %-14s %6.2f\n", b.Title, b.Author, b.Price)
+	}
+
+	// Typed calls pack like any other: the binding is orthogonal to the
+	// message layer.
+	batch := client.NewBatch()
+	queries := []string{"soap", "grid", "welsh"}
+	calls := make([]*spi.Call, len(queries))
+	for i, q := range queries {
+		params, err := spi.MarshalFields(SearchRequest{Query: q})
+		if err != nil {
+			log.Fatal(err)
+		}
+		calls[i] = batch.Add("Catalogue", "Search", params...)
+	}
+	if err := batch.Send(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthree packed searches in one SOAP message:")
+	for i, c := range calls {
+		fields, err := c.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var r SearchResponse
+		if err := spi.UnmarshalFields(fields, &r); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s -> %d match(es)\n", queries[i], r.Total)
+	}
+	fmt.Printf("\nSOAP messages sent: %d\n", client.Stats().Envelopes)
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/soapenc"
+)
+
+// BreakdownRow decomposes where server protocol-thread time goes for one
+// strategy: SOAP parsing, dispatch + operation execution, response
+// encoding — per envelope and total across the workload.
+type BreakdownRow struct {
+	Name      string
+	Envelopes int64
+	// Per-envelope means.
+	ParseMs    float64
+	DispatchMs float64
+	EncodeMs   float64
+	// Totals across the whole workload (what the client actually waits
+	// behind, aggregated).
+	TotalParseMs    float64
+	TotalDispatchMs float64
+	TotalEncodeMs   float64
+}
+
+// BreakdownResult is the completed experiment.
+type BreakdownResult struct {
+	M            int
+	PayloadBytes int
+	Rows         []BreakdownRow
+}
+
+// RunBreakdown measures the server-side cost composition for the serial
+// baseline versus the packed approach on the same workload (M requests of
+// payloadBytes each). It substantiates the paper's §4.2 explanation: the
+// packed message does not reduce the *application* work (M operations
+// still execute) — it reduces the number of protocol traversals (M parses
+// and M encodes collapse into one bigger parse and encode) and, off-server,
+// the per-message network overhead.
+func RunBreakdown(m, payloadBytes, reps int) (*BreakdownResult, error) {
+	if m <= 0 {
+		m = 64
+	}
+	if payloadBytes <= 0 {
+		payloadBytes = 10
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = 'a'
+	}
+	arg := soapenc.F("data", string(payload))
+
+	result := &BreakdownResult{M: m, PayloadBytes: payloadBytes}
+	for _, packed := range []bool{false, true} {
+		env, err := NewEnv(EnvOptions{})
+		if err != nil {
+			return nil, err
+		}
+		for rep := 0; rep < reps; rep++ {
+			if packed {
+				b := env.Client.NewBatch()
+				for i := 0; i < m; i++ {
+					b.Add("Echo", "echo", arg)
+				}
+				if err := b.Send(); err != nil {
+					env.Close()
+					return nil, err
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					if _, err := env.Client.Call("Echo", "echo", arg); err != nil {
+						env.Close()
+						return nil, err
+					}
+				}
+			}
+		}
+		st := env.Server.Stats()
+		env.Close()
+
+		name := "No Optimization"
+		if packed {
+			name = "Our Approach"
+		}
+		row := BreakdownRow{
+			Name:       name,
+			Envelopes:  st.Envelopes / int64(reps),
+			ParseMs:    metrics.Millis(st.ParsePhase.Mean),
+			DispatchMs: metrics.Millis(st.DispatchPhase.Mean),
+			EncodeMs:   metrics.Millis(st.EncodePhase.Mean),
+		}
+		row.TotalParseMs = metrics.Millis(st.ParsePhase.Total) / float64(reps)
+		row.TotalDispatchMs = metrics.Millis(st.DispatchPhase.Total) / float64(reps)
+		row.TotalEncodeMs = metrics.Millis(st.EncodePhase.Total) / float64(reps)
+		result.Rows = append(result.Rows, row)
+	}
+	return result, nil
+}
+
+// Print renders the breakdown table.
+func (r *BreakdownResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Server-side cost breakdown — M=%d requests of %d B (per run of M)\n",
+		r.M, r.PayloadBytes)
+	fmt.Fprintf(w, "%-18s %10s %12s %14s %12s\n",
+		"strategy", "envelopes", "parse (ms)", "dispatch (ms)", "encode (ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-18s %10d %12.3f %14.3f %12.3f\n",
+			row.Name, row.Envelopes, row.TotalParseMs, row.TotalDispatchMs, row.TotalEncodeMs)
+	}
+	fmt.Fprintln(w, "(dispatch includes operation execution; parse and encode are protocol-thread work)")
+	fmt.Fprintln(w)
+}

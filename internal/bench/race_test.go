@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active. The detector
+// slows CPU-bound paths by an order of magnitude, which distorts the
+// timing ratios the shape tests assert, so those tests skip themselves.
+const raceEnabled = true

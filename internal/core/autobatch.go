@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/soapenc"
+)
+
+// AutoBatcher packs calls into shared SOAP messages automatically: calls
+// issued within a flush window (or until a size cap) travel together,
+// without the caller managing Batch objects. This implements the paper's
+// stated future work — "we will develop automatic communication techniques
+// in order not to modify the code on client side": code written against the
+// plain Call interface gains packing transparently.
+//
+// Safe for concurrent use; that is its point — independent goroutines'
+// calls coalesce into one message.
+type AutoBatcher struct {
+	client   *Client
+	window   time.Duration
+	maxBatch int
+
+	mu      sync.Mutex
+	pending *Batch
+	timer   *time.Timer
+	closed  bool
+	flushWG sync.WaitGroup
+}
+
+// NewAutoBatcher wraps a client. window is how long the first call in a
+// batch waits for companions (default 1ms); maxBatch flushes early when
+// that many calls have gathered (default 128, the largest M in the
+// evaluation).
+func NewAutoBatcher(c *Client, window time.Duration, maxBatch int) *AutoBatcher {
+	if window <= 0 {
+		window = time.Millisecond
+	}
+	if maxBatch <= 0 {
+		maxBatch = 128
+	}
+	return &AutoBatcher{client: c, window: window, maxBatch: maxBatch}
+}
+
+// Go enqueues a call into the current window and returns its future.
+func (a *AutoBatcher) Go(service, op string, params ...soapenc.Field) *Call {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		call := newCall(service, op)
+		call.resolve(nil, errors.New("core: autobatcher closed"))
+		return call
+	}
+	if a.pending == nil {
+		a.pending = a.client.NewBatch()
+		a.timer = time.AfterFunc(a.window, a.flushTimer)
+	}
+	call := a.pending.Add(service, op, params...)
+	if a.pending.Len() >= a.maxBatch {
+		a.flushLocked()
+	}
+	a.mu.Unlock()
+	return call
+}
+
+// Call is the synchronous form of Go.
+func (a *AutoBatcher) Call(service, op string, params ...soapenc.Field) ([]soapenc.Field, error) {
+	return a.Go(service, op, params...).Wait()
+}
+
+// Flush sends the current window immediately, if any.
+func (a *AutoBatcher) Flush() {
+	a.mu.Lock()
+	a.flushLocked()
+	a.mu.Unlock()
+}
+
+func (a *AutoBatcher) flushTimer() {
+	a.mu.Lock()
+	a.flushLocked()
+	a.mu.Unlock()
+}
+
+// flushLocked launches the pending batch. Caller holds a.mu.
+func (a *AutoBatcher) flushLocked() {
+	if a.pending == nil {
+		return
+	}
+	batch := a.pending
+	a.pending = nil
+	if a.timer != nil {
+		a.timer.Stop()
+		a.timer = nil
+	}
+	a.flushWG.Add(1)
+	go func() {
+		defer a.flushWG.Done()
+		// Errors surface through the batch's futures.
+		_ = batch.Send()
+	}()
+}
+
+// Close flushes any pending window and waits for in-flight batches.
+func (a *AutoBatcher) Close() {
+	a.mu.Lock()
+	a.closed = true
+	a.flushLocked()
+	a.mu.Unlock()
+	a.flushWG.Wait()
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/msgcache"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/wsdl"
+	"repro/internal/xmldom"
+)
+
+// HeaderProvider contributes header blocks to outgoing envelopes — the
+// client-side extension point WS-Security plugs into. body is the canonical
+// serialization of the body entries, available for signing.
+type HeaderProvider interface {
+	MakeHeaders(body []byte) ([]*xmldom.Element, error)
+}
+
+// ClientConfig configures an SPI client.
+type ClientConfig struct {
+	// Dial opens a connection to the server. Required.
+	Dial httpx.Dialer
+	// KeepAlive reuses connections across calls. The paper's measured
+	// baselines dial per message (false); setting true isolates the
+	// header-overhead component in ablations.
+	KeepAlive bool
+	// PathPrefix must match the server's (default "/services/").
+	PathPrefix string
+	// Timeout bounds one HTTP exchange; zero means none.
+	Timeout time.Duration
+	// HeaderProviders contribute header blocks to every request.
+	HeaderProviders []HeaderProvider
+	// MaxBodyBytes caps response bodies; zero means the httpx default.
+	MaxBodyBytes int64
+	// SOAP12 sends SOAP 1.2 envelopes (default is the paper's SOAP 1.1).
+	// The server replies in kind.
+	SOAP12 bool
+	// TemplateCache enables parameterized client-side message caching for
+	// single (unpacked) calls — the §2.2 related-work optimization of
+	// Devaram & Andresen [1] / differential serialization [3]: repeated
+	// calls with the same parameter shape splice their values into a
+	// cached serialized envelope instead of re-serializing. Orthogonal to
+	// packing; ignored when HeaderProviders are set (headers vary per
+	// message).
+	TemplateCache bool
+}
+
+// ClientStats counts client-side traffic.
+type ClientStats struct {
+	Calls     int64 // service invocations issued (batched or not)
+	Envelopes int64 // SOAP messages sent
+	Batches   int64 // packed messages sent
+	Faults    int64 // calls that returned a fault
+}
+
+// Client issues SOAP calls, either one per message (Call/Go) or packed many
+// to a message (NewBatch) — the SPI pack interface.
+type Client struct {
+	cfg  ClientConfig
+	http *httpx.Client
+
+	mu         sync.RWMutex
+	namespaces map[string]string
+
+	templates *msgcache.Cache // nil unless TemplateCache
+
+	calls     atomic.Int64
+	envelopes atomic.Int64
+	batches   atomic.Int64
+	faults    atomic.Int64
+}
+
+// NewClient builds a client from the configuration.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("core: ClientConfig.Dial is required")
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/services/"
+	}
+	if !strings.HasSuffix(cfg.PathPrefix, "/") {
+		cfg.PathPrefix += "/"
+	}
+	c := &Client{
+		cfg: cfg,
+		http: &httpx.Client{
+			Dial:         cfg.Dial,
+			KeepAlive:    cfg.KeepAlive,
+			Timeout:      cfg.Timeout,
+			MaxBodyBytes: cfg.MaxBodyBytes,
+		},
+		namespaces: make(map[string]string),
+	}
+	// The template cache renders SOAP 1.1 envelopes; it is disabled when
+	// headers vary per message or the client speaks SOAP 1.2.
+	if cfg.TemplateCache && len(cfg.HeaderProviders) == 0 && !cfg.SOAP12 {
+		c.templates = msgcache.New()
+	}
+	return c, nil
+}
+
+// TemplateStats reports template-cache behaviour (zero value when the
+// cache is disabled).
+func (c *Client) TemplateStats() msgcache.Stats {
+	if c.templates == nil {
+		return msgcache.Stats{}
+	}
+	return c.templates.Stats()
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() { c.http.Close() }
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:     c.calls.Load(),
+		Envelopes: c.envelopes.Load(),
+		Batches:   c.batches.Load(),
+		Faults:    c.faults.Load(),
+	}
+}
+
+// Define associates a service name with its XML namespace, overriding the
+// "urn:spi:<name>" convention. In a full deployment this mapping comes from
+// the service's WSDL (see package wsdl).
+func (c *Client) Define(service, namespace string) {
+	c.mu.Lock()
+	c.namespaces[service] = namespace
+	c.mu.Unlock()
+}
+
+// DefineFromWSDL teaches the client a service's name and namespace from
+// its WSDL document (as served on GET <prefix><Service>?wsdl). It returns
+// the parsed description.
+func (c *Client) DefineFromWSDL(doc string) (*wsdl.Description, error) {
+	d, err := wsdl.ParseString(doc)
+	if err != nil {
+		return nil, err
+	}
+	c.Define(d.Service, d.Namespace)
+	return d, nil
+}
+
+// FetchWSDL retrieves and registers the WSDL of a deployed service over
+// the client's own transport.
+func (c *Client) FetchWSDL(service string) (*wsdl.Description, error) {
+	req := httpx.NewRequest("GET", c.cfg.PathPrefix+service+"?wsdl", nil)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != 200 {
+		return nil, fmt.Errorf("core: WSDL fetch for %q: HTTP %d", service, resp.StatusCode)
+	}
+	return c.DefineFromWSDL(string(resp.Body))
+}
+
+// NamespaceOf returns the namespace used for a service's request elements.
+func (c *Client) NamespaceOf(service string) string {
+	c.mu.RLock()
+	ns, ok := c.namespaces[service]
+	c.mu.RUnlock()
+	if ok {
+		return ns
+	}
+	return "urn:spi:" + service
+}
+
+// Call invokes one operation synchronously in its own SOAP message — the
+// traditional interface ("No Optimization" in the evaluation).
+func (c *Client) Call(service, op string, params ...soapenc.Field) ([]soapenc.Field, error) {
+	c.calls.Add(1)
+	target := c.cfg.PathPrefix + service
+
+	var respEnv *soap.Envelope
+	var err error
+	if c.templates != nil {
+		// Template-cache fast path: splice values into the cached
+		// serialized envelope, skipping DOM construction entirely.
+		doc, ok, terr := c.templates.Render(service, c.NamespaceOf(service), op, params)
+		if terr != nil {
+			return nil, fmt.Errorf("core: template for %s.%s: %w", service, op, terr)
+		}
+		if ok {
+			respEnv, err = c.post(target, doc)
+		} else {
+			respEnv, err = c.exchangeCall(target, service, op, params)
+		}
+	} else {
+		respEnv, err = c.exchangeCall(target, service, op, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if f := respEnv.Fault(); f != nil {
+		c.faults.Add(1)
+		return nil, f
+	}
+	if len(respEnv.Body) != 1 {
+		return nil, fmt.Errorf("core: response has %d body entries", len(respEnv.Body))
+	}
+	return soapenc.DecodeParams(respEnv.Body[0])
+}
+
+// exchangeCall serializes one RPC request through the DOM path.
+func (c *Client) exchangeCall(target, service, op string, params []soapenc.Field) (*soap.Envelope, error) {
+	reqEl, err := encodeRequestElement(c.NamespaceOf(service), op, params)
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
+	}
+	return c.exchange(target, []*xmldom.Element{reqEl})
+}
+
+// Call is a pending invocation: a future resolved when its response (or
+// fault) arrives.
+type Call struct {
+	Service string
+	Op      string
+
+	done    chan struct{}
+	results []soapenc.Field
+	err     error
+}
+
+func newCall(service, op string) *Call {
+	return &Call{Service: service, Op: op, done: make(chan struct{})}
+}
+
+func (cl *Call) resolve(results []soapenc.Field, err error) {
+	cl.results = results
+	cl.err = err
+	close(cl.done)
+}
+
+// Done is closed when the call has completed.
+func (cl *Call) Done() <-chan struct{} { return cl.done }
+
+// Wait blocks until completion and returns the results or error.
+func (cl *Call) Wait() ([]soapenc.Field, error) {
+	<-cl.done
+	return cl.results, cl.err
+}
+
+// Go invokes one operation asynchronously in its own SOAP message and
+// connection — the "Multiple Threads" baseline of the evaluation.
+func (c *Client) Go(service, op string, params ...soapenc.Field) *Call {
+	call := newCall(service, op)
+	go func() {
+		results, err := c.Call(service, op, params...)
+		call.resolve(results, err)
+	}()
+	return call
+}
+
+// Batch collects calls to be packed into a single SOAP message — the SPI
+// pack interface. Add calls, then Send once; each Add returns a future
+// resolved by Send. A Batch is not safe for concurrent Add/Send (build it
+// on one goroutine); the returned futures may be awaited anywhere.
+type Batch struct {
+	client *Client
+	// entries and calls are parallel slices indexed by correlation id.
+	entries  []*packedEntry
+	calls    []*Call
+	sent     bool
+	buildErr error
+}
+
+// NewBatch starts an empty batch.
+func (c *Client) NewBatch() *Batch {
+	return &Batch{client: c}
+}
+
+// Add appends an invocation to the batch and returns its future.
+func (b *Batch) Add(service, op string, params ...soapenc.Field) *Call {
+	call := newCall(service, op)
+	if b.sent {
+		call.resolve(nil, fmt.Errorf("core: Add after Send"))
+		return call
+	}
+	el, err := encodeRequestElement(b.client.NamespaceOf(service), op, params)
+	if err != nil && b.buildErr == nil {
+		b.buildErr = fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
+	}
+	b.entries = append(b.entries, &packedEntry{service: service, element: el})
+	b.calls = append(b.calls, call)
+	b.client.calls.Add(1)
+	return call
+}
+
+// Len returns the number of calls added so far.
+func (b *Batch) Len() int { return len(b.calls) }
+
+// Send packs every added call into one SOAP message, performs the exchange
+// and resolves all futures. It returns the first transport- or
+// message-level error; per-call faults are delivered through the futures.
+func (b *Batch) Send() error {
+	if b.sent {
+		return fmt.Errorf("core: batch already sent")
+	}
+	b.sent = true
+	if len(b.calls) == 0 {
+		return fmt.Errorf("core: empty batch")
+	}
+	if b.buildErr != nil {
+		b.resolveAll(nil, b.buildErr)
+		return b.buildErr
+	}
+
+	pm := buildPackedRequest(b.entries)
+	b.client.batches.Add(1)
+	respEnv, err := b.client.exchange(b.client.packTarget(), []*xmldom.Element{pm})
+	if err != nil {
+		b.resolveAll(nil, err)
+		return err
+	}
+	if f := respEnv.Fault(); f != nil {
+		b.client.faults.Add(1)
+		b.resolveAll(nil, f)
+		return f
+	}
+	if len(respEnv.Body) != 1 || !isPackedResponse(respEnv.Body[0]) {
+		err := fmt.Errorf("core: response is not a %s", ElemParallelResponse)
+		b.resolveAll(nil, err)
+		return err
+	}
+	results, err := decodePackedResponse(respEnv.Body[0])
+	if err != nil {
+		b.resolveAll(nil, err)
+		return err
+	}
+	// Client-side dispatcher: route each entry to its pending call.
+	for id, call := range b.calls {
+		res, ok := results[id]
+		switch {
+		case !ok:
+			call.resolve(nil, fmt.Errorf("core: no response for packed call %d (%s.%s)", id, call.Service, call.Op))
+		case res.fault != nil:
+			b.client.faults.Add(1)
+			call.resolve(nil, res.fault)
+		default:
+			call.resolve(res.results, nil)
+		}
+	}
+	return nil
+}
+
+func (b *Batch) resolveAll(results []soapenc.Field, err error) {
+	for _, call := range b.calls {
+		call.resolve(results, err)
+	}
+}
+
+// packTarget is the URL packed messages are POSTed to: the bare services
+// prefix, since one message may span services.
+func (c *Client) packTarget() string {
+	return strings.TrimSuffix(c.cfg.PathPrefix, "/")
+}
+
+// version returns the envelope version this client speaks.
+func (c *Client) version() soap.Version {
+	if c.cfg.SOAP12 {
+		return soap.V12
+	}
+	return soap.V11
+}
+
+// exchange performs one envelope round trip.
+func (c *Client) exchange(target string, body []*xmldom.Element) (*soap.Envelope, error) {
+	env := soap.New()
+	env.Version = c.version()
+	env.Body = body
+	if len(c.cfg.HeaderProviders) > 0 {
+		canonical := canonicalBody(env)
+		for _, p := range c.cfg.HeaderProviders {
+			blocks, err := p.MakeHeaders(canonical)
+			if err != nil {
+				return nil, fmt.Errorf("core: header provider: %w", err)
+			}
+			env.Header = append(env.Header, blocks...)
+		}
+	}
+	var buf bytes.Buffer
+	if err := env.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("core: encoding envelope: %w", err)
+	}
+	return c.post(target, buf.Bytes())
+}
+
+// post ships a fully-serialized envelope and decodes the reply.
+func (c *Client) post(target string, doc []byte) (*soap.Envelope, error) {
+	c.envelopes.Add(1)
+	resp, err := c.http.Post(target, c.version().ContentType(), doc, "SOAPAction", `""`)
+	if err != nil {
+		return nil, err
+	}
+	respEnv, decErr := soap.Decode(bytes.NewReader(resp.Body))
+	if decErr != nil {
+		if resp.StatusCode != 200 {
+			return nil, fmt.Errorf("core: HTTP %d: %s", resp.StatusCode, truncate(resp.Body, 200))
+		}
+		return nil, fmt.Errorf("core: decoding response: %w", decErr)
+	}
+	return respEnv, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

@@ -1,0 +1,876 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/msgcache"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// newEchoContainer deploys the Echo service used throughout the evaluation
+// plus a Weather service matching Figure 4.
+func newEchoContainer(t *testing.T) *registry.Container {
+	t.Helper()
+	c := registry.NewContainer()
+	echo := c.MustAddService("Echo", "urn:spi:Echo", "returns its input")
+	echo.MustRegister("echo", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return params, nil
+	}, "identity")
+	echo.MustRegister("fail", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return nil, errors.New("deliberate failure")
+	}, "always faults")
+	echo.MustRegister("slow", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		time.Sleep(20 * time.Millisecond)
+		return params, nil
+	}, "sleeps 20ms")
+
+	weather := c.MustAddService("WeatherService", "urn:spi:WeatherService", "Figure 4 weather service")
+	weather.MustRegister("GetWeather", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		city := ""
+		for _, p := range params {
+			if p.Name == "CityName" {
+				city, _ = p.Value.(string)
+			}
+		}
+		return []soapenc.Field{soapenc.F("GetWeatherResult", "Sunny in "+city)}, nil
+	}, "city weather")
+	return c
+}
+
+// system wires a client and server over an in-memory link.
+type system struct {
+	client *Client
+	server *Server
+	link   *netsim.Link
+}
+
+func newSystem(t *testing.T, mutate func(*ServerConfig, *ClientConfig)) *system {
+	t.Helper()
+	link := netsim.NewLink(netsim.Fast())
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := ServerConfig{Container: newEchoContainer(t), AppWorkers: 8, AppQueue: 64}
+	ccfg := ClientConfig{Dial: link.Dial, Timeout: 5 * time.Second}
+	if mutate != nil {
+		mutate(&scfg, &ccfg)
+	}
+	srv, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	cli, err := NewClient(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		link.Close()
+	})
+	return &system{client: cli, server: srv, link: link}
+}
+
+func TestSingleCallRoundTrip(t *testing.T) {
+	sys := newSystem(t, nil)
+	results, err := sys.client.Call("Echo", "echo", soapenc.F("msg", "hello"), soapenc.F("n", int64(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Name != "msg" || !soapenc.Equal(results[0].Value, "hello") {
+		t.Errorf("results = %v", results)
+	}
+	if !soapenc.Equal(results[1].Value, int64(7)) {
+		t.Errorf("int result = %v", results[1].Value)
+	}
+}
+
+func TestSingleCallFault(t *testing.T) {
+	sys := newSystem(t, nil)
+	_, err := sys.client.Call("Echo", "fail")
+	var f *soap.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *soap.Fault", err)
+	}
+	if f.Code != soap.FaultServer || !strings.Contains(f.String, "deliberate failure") {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestUnknownServiceAndOperation(t *testing.T) {
+	sys := newSystem(t, nil)
+	_, err := sys.client.Call("NoSuch", "echo")
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != soap.FaultClient {
+		t.Errorf("unknown service err = %v", err)
+	}
+	_, err = sys.client.Call("Echo", "noSuchOp")
+	if !errors.As(err, &f) || f.Code != soap.FaultClient {
+		t.Errorf("unknown op err = %v", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	sys := newSystem(t, nil)
+	b := sys.client.NewBatch()
+	var calls []*Call
+	for i := 0; i < 10; i++ {
+		calls = append(calls, b.Add("Echo", "echo", soapenc.F("i", int64(i))))
+	}
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	for i, call := range calls {
+		results, err := call.Wait()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if len(results) != 1 || !soapenc.Equal(results[0].Value, int64(i)) {
+			t.Errorf("call %d results = %v", i, results)
+		}
+	}
+	// The whole batch used exactly one envelope and one connection.
+	if st := sys.client.Stats(); st.Envelopes != 1 || st.Batches != 1 || st.Calls != 10 {
+		t.Errorf("client stats = %+v", st)
+	}
+	if st := sys.link.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d, want 1", st.Dials)
+	}
+	if st := sys.server.Stats(); st.PackedMessages != 1 || st.Requests != 10 {
+		t.Errorf("server stats = %+v", st)
+	}
+}
+
+func TestBatchMixedServices(t *testing.T) {
+	sys := newSystem(t, nil)
+	b := sys.client.NewBatch()
+	c1 := b.Add("Echo", "echo", soapenc.F("x", "1"))
+	c2 := b.Add("WeatherService", "GetWeather", soapenc.F("CityName", "Beijing"))
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Wait(); err != nil {
+		t.Errorf("echo in mixed batch: %v", err)
+	}
+	results, err := c2.Wait()
+	if err != nil {
+		t.Fatalf("weather in mixed batch: %v", err)
+	}
+	if len(results) != 1 || !soapenc.Equal(results[0].Value, "Sunny in Beijing") {
+		t.Errorf("weather results = %v", results)
+	}
+}
+
+func TestBatchPerItemFaults(t *testing.T) {
+	sys := newSystem(t, nil)
+	b := sys.client.NewBatch()
+	ok1 := b.Add("Echo", "echo", soapenc.F("x", "a"))
+	bad := b.Add("Echo", "fail")
+	ok2 := b.Add("Echo", "echo", soapenc.F("x", "b"))
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok1.Wait(); err != nil {
+		t.Errorf("ok1: %v", err)
+	}
+	if _, err := bad.Wait(); err == nil {
+		t.Error("faulting call succeeded")
+	} else {
+		var f *soap.Fault
+		if !errors.As(err, &f) || !strings.Contains(f.String, "deliberate failure") {
+			t.Errorf("bad call err = %v", err)
+		}
+	}
+	results, err := ok2.Wait()
+	if err != nil || !soapenc.Equal(results[0].Value, "b") {
+		t.Errorf("ok2 after faulting sibling: %v %v", results, err)
+	}
+	if st := sys.server.Stats(); st.ItemFaults != 1 {
+		t.Errorf("item faults = %d", st.ItemFaults)
+	}
+}
+
+func TestBatchExecutesConcurrently(t *testing.T) {
+	sys := newSystem(t, nil)
+	b := sys.client.NewBatch()
+	var calls []*Call
+	for i := 0; i < 8; i++ {
+		calls = append(calls, b.Add("Echo", "slow"))
+	}
+	start := time.Now()
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 8 x 20ms serial would be 160ms; the app stage (8 workers) runs them
+	// together.
+	if elapsed > 120*time.Millisecond {
+		t.Errorf("packed slow calls took %v, want concurrent execution", elapsed)
+	}
+}
+
+func TestCoupledModeSerializesPackedRequests(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) { s.Coupled = true })
+	b := sys.client.NewBatch()
+	for i := 0; i < 4; i++ {
+		b.Add("Echo", "slow")
+	}
+	start := time.Now()
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Errorf("coupled mode finished in %v, want >= 4x20ms serial execution", elapsed)
+	}
+}
+
+func TestGoFutures(t *testing.T) {
+	sys := newSystem(t, nil)
+	var calls []*Call
+	for i := 0; i < 6; i++ {
+		calls = append(calls, sys.client.Go("Echo", "echo", soapenc.F("i", int64(i))))
+	}
+	for i, c := range calls {
+		results, err := c.Wait()
+		if err != nil {
+			t.Fatalf("go %d: %v", i, err)
+		}
+		if !soapenc.Equal(results[0].Value, int64(i)) {
+			t.Errorf("go %d = %v", i, results)
+		}
+	}
+	// Each Go used its own envelope.
+	if st := sys.client.Stats(); st.Envelopes != 6 {
+		t.Errorf("envelopes = %d", st.Envelopes)
+	}
+}
+
+func TestEmptyAndDoubleSendBatch(t *testing.T) {
+	sys := newSystem(t, nil)
+	b := sys.client.NewBatch()
+	if err := b.Send(); err == nil {
+		t.Error("empty batch sent")
+	}
+	b2 := sys.client.NewBatch()
+	b2.Add("Echo", "echo")
+	if err := b2.Send(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Send(); err == nil {
+		t.Error("double send accepted")
+	}
+	late := b2.Add("Echo", "echo")
+	if _, err := late.Wait(); err == nil {
+		t.Error("Add after Send resolved successfully")
+	}
+}
+
+func TestSingleRequestOnPackEndpoint(t *testing.T) {
+	// A plain (unpacked) request POSTed to the pack endpoint resolves its
+	// service by body namespace.
+	sys := newSystem(t, nil)
+	reqEl, err := encodeRequestElement("urn:spi:Echo", "echo", []soapenc.Field{soapenc.F("m", "x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sys.client.exchange(sys.client.packTarget(), []*xmldom.Element{reqEl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := env.Fault(); f != nil {
+		t.Fatal(f)
+	}
+	params, err := soapenc.DecodeParams(env.Body[0])
+	if err != nil || len(params) != 1 || !soapenc.Equal(params[0].Value, "x") {
+		t.Errorf("params = %v, err = %v", params, err)
+	}
+}
+
+func TestFigure4WireFormat(t *testing.T) {
+	// Golden test for the packed request message of the paper's Figure 4:
+	// two weather queries (Beijing, Shanghai) in one envelope whose body is
+	// a Parallel_Method element with two child request elements.
+	entries := []*packedEntry{}
+	for _, city := range []string{"Beijing, China", "Shanghai, China"} {
+		el, err := encodeRequestElement("urn:spi:WeatherService", "GetWeather",
+			[]soapenc.Field{soapenc.F("CityName", city), soapenc.F("CountryName", "China")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, &packedEntry{service: "WeatherService", element: el})
+	}
+	env := soap.New()
+	env.AddBody(buildPackedRequest(entries))
+	var buf strings.Builder
+	if err := env.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+
+	for _, want := range []string{
+		`SOAP-ENV:Envelope`,
+		`xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/"`,
+		`<spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack">`,
+		`spi:id="0"`,
+		`spi:id="1"`,
+		`spi:service="WeatherService"`,
+		`<CityName xsi:type="xsd:string">Beijing, China</CityName>`,
+		`<CityName xsi:type="xsd:string">Shanghai, China</CityName>`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("Figure 4 message missing %q:\n%s", want, doc)
+		}
+	}
+
+	// And the body must parse back into two requests.
+	parsed, err := soap.Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPackedRequest(parsed.Body[0]) {
+		t.Fatal("body not recognized as Parallel_Method")
+	}
+	kids := parsed.Body[0].ChildElements()
+	if len(kids) != 2 {
+		t.Fatalf("packed children = %d", len(kids))
+	}
+	req, fault := decodeRequestElement(kids[1], "", 99)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if req.service != "WeatherService" || req.op != "GetWeather" || req.id != 1 {
+		t.Errorf("decoded request = %+v", req)
+	}
+}
+
+func TestHeaderProcessorAndMustUnderstand(t *testing.T) {
+	var seen []string
+	proc := &testHeaderProc{ns: "urn:test:auth", local: "Token", fn: func(block *xmldom.Element, body []byte) error {
+		seen = append(seen, block.Text())
+		if block.Text() == "bad" {
+			return errors.New("invalid token")
+		}
+		return nil
+	}}
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.HeaderProcessors = []HeaderProcessor{proc}
+		c.HeaderProviders = []HeaderProvider{headerProviderFunc(func(body []byte) ([]*xmldom.Element, error) {
+			h := xmldom.NewElement(xmltext.Name{Local: "Token"})
+			h.DeclareNamespace("", "urn:test:auth")
+			h.SetAttr(xmltext.Name{Prefix: soap.PrefixEnvelope, Local: "mustUnderstand"}, "1")
+			h.DeclareNamespace(soap.PrefixEnvelope, soap.NSEnvelope)
+			h.SetText("good")
+			return []*xmldom.Element{h}, nil
+		})}
+	})
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != "good" {
+		t.Errorf("processor saw %v", seen)
+	}
+}
+
+func TestMustUnderstandUnknownHeaderFaults(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		c.HeaderProviders = []HeaderProvider{headerProviderFunc(func(body []byte) ([]*xmldom.Element, error) {
+			h := xmldom.NewElement(xmltext.Name{Local: "Mystery"})
+			h.DeclareNamespace("", "urn:test:unknown")
+			h.DeclareNamespace(soap.PrefixEnvelope, soap.NSEnvelope)
+			h.SetAttr(xmltext.Name{Prefix: soap.PrefixEnvelope, Local: "mustUnderstand"}, "1")
+			return []*xmldom.Element{h}, nil
+		})}
+	})
+	_, err := sys.client.Call("Echo", "echo")
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != soap.FaultMustUnderstand {
+		t.Errorf("err = %v, want MustUnderstand fault", err)
+	}
+}
+
+type testHeaderProc struct {
+	ns, local string
+	fn        func(*xmldom.Element, []byte) error
+}
+
+func (p *testHeaderProc) HeaderName() (string, string) { return p.ns, p.local }
+func (p *testHeaderProc) ProcessHeader(b *xmldom.Element, body []byte) error {
+	return p.fn(b, body)
+}
+
+type headerProviderFunc func([]byte) ([]*xmldom.Element, error)
+
+func (f headerProviderFunc) MakeHeaders(body []byte) ([]*xmldom.Element, error) { return f(body) }
+
+func TestAutoBatcherCoalesces(t *testing.T) {
+	sys := newSystem(t, nil)
+	ab := NewAutoBatcher(sys.client, 20*time.Millisecond, 64)
+	defer ab.Close()
+
+	const n = 12
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results, err := ab.Call("Echo", "echo", soapenc.F("i", int64(i)))
+			if err == nil && !soapenc.Equal(results[0].Value, int64(i)) {
+				err = fmt.Errorf("wrong result %v", results)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+	// All calls issued within the window must share few envelopes.
+	if st := sys.client.Stats(); st.Envelopes >= n {
+		t.Errorf("auto batcher sent %d envelopes for %d calls", st.Envelopes, n)
+	}
+}
+
+func TestAutoBatcherMaxBatchFlush(t *testing.T) {
+	sys := newSystem(t, nil)
+	ab := NewAutoBatcher(sys.client, time.Hour, 4) // window never fires
+	defer ab.Close()
+	var calls []*Call
+	for i := 0; i < 4; i++ {
+		calls = append(calls, ab.Go("Echo", "echo", soapenc.F("i", int64(i))))
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAutoBatcherExplicitFlush(t *testing.T) {
+	sys := newSystem(t, nil)
+	ab := NewAutoBatcher(sys.client, time.Hour, 1024) // window never fires on its own
+	defer ab.Close()
+	call := ab.Go("Echo", "echo", soapenc.F("m", "flushed"))
+	select {
+	case <-call.Done():
+		t.Fatal("call resolved before flush")
+	case <-time.After(10 * time.Millisecond):
+	}
+	ab.Flush()
+	select {
+	case <-call.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush did not release the call")
+	}
+	res, err := call.Wait()
+	if err != nil || !soapenc.Equal(res[0].Value, "flushed") {
+		t.Errorf("flushed call = %v, %v", res, err)
+	}
+	// Flushing with nothing pending is a no-op.
+	ab.Flush()
+}
+
+func TestAutoBatcherClosed(t *testing.T) {
+	sys := newSystem(t, nil)
+	ab := NewAutoBatcher(sys.client, time.Millisecond, 8)
+	ab.Close()
+	if _, err := ab.Call("Echo", "echo"); err == nil {
+		t.Error("call on closed autobatcher succeeded")
+	}
+}
+
+func TestNotFoundAndMethodNotAllowed(t *testing.T) {
+	sys := newSystem(t, nil)
+	// Bad path segment.
+	_, err := sys.client.Call("Echo/extra", "echo")
+	if err == nil {
+		t.Error("nested path accepted")
+	}
+}
+
+func TestWSDLEndpoint(t *testing.T) {
+	sys := newSystem(t, nil)
+	get := func(target string) (*httpx.Response, error) {
+		req := httpx.NewRequest("GET", target, nil)
+		return sys.client.http.Do(req)
+	}
+	resp, err := get("/services/Echo?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "wsdl:definitions") {
+		t.Errorf("wsdl endpoint = %d %q", resp.StatusCode, truncate(resp.Body, 100))
+	}
+	resp, err = get("/services")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "Echo") {
+		t.Errorf("service listing = %d %q", resp.StatusCode, truncate(resp.Body, 100))
+	}
+	resp, err = get("/services/NoSuch?wsdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("missing service wsdl = %d", resp.StatusCode)
+	}
+	resp, err = get("/services/Echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 || !strings.Contains(string(resp.Body), "?wsdl") {
+		t.Errorf("service info = %d %q", resp.StatusCode, truncate(resp.Body, 100))
+	}
+}
+
+func TestMalformedEnvelopeFaults(t *testing.T) {
+	sys := newSystem(t, nil)
+	resp, err := sys.client.http.Post("/services/Echo", "text/xml", []byte("<not-soap/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 500 {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+	env, err := soap.Decode(strings.NewReader(string(resp.Body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := env.Fault(); f == nil || f.Code != soap.FaultClient {
+		t.Errorf("fault = %v", f)
+	}
+}
+
+func TestProtocolWorkerLimit(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.ProtocolWorkers = 1
+	})
+	// With a single protocol worker, two concurrent slow single calls
+	// serialize at the protocol stage in coupled mode; in staged mode the
+	// app stage still runs them but the protocol thread holds the slot
+	// while waiting, so they serialize too.
+	start := time.Now()
+	c1 := sys.client.Go("Echo", "slow")
+	c2 := sys.client.Go("Echo", "slow")
+	if _, err := c1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Errorf("protocol-limited calls took %v, want >= 40ms serial", elapsed)
+	}
+}
+
+func TestInterceptorChain(t *testing.T) {
+	var order []string
+	mk := func(name string) Interceptor {
+		return func(env *soap.Envelope, info *RequestInfo, next Dispatcher) (*soap.Envelope, *soap.Fault) {
+			order = append(order, name+"-in")
+			resp, fault := next(env)
+			order = append(order, name+"-out")
+			return resp, fault
+		}
+	}
+	var sawInfo *RequestInfo
+	capture := func(env *soap.Envelope, info *RequestInfo, next Dispatcher) (*soap.Envelope, *soap.Fault) {
+		sawInfo = info
+		return next(env)
+	}
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.Interceptors = []Interceptor{mk("outer"), mk("inner"), capture}
+	})
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"outer-in", "inner-in", "inner-out", "outer-out"}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if sawInfo == nil || sawInfo.DefaultService != "Echo" || sawInfo.Target != "/services/Echo" {
+		t.Errorf("info = %+v", sawInfo)
+	}
+}
+
+func TestInterceptorShortCircuit(t *testing.T) {
+	reject := func(env *soap.Envelope, info *RequestInfo, next Dispatcher) (*soap.Envelope, *soap.Fault) {
+		return nil, soap.ClientFault("blocked by policy")
+	}
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.Interceptors = []Interceptor{reject}
+	})
+	_, err := sys.client.Call("Echo", "echo")
+	var f *soap.Fault
+	if !errors.As(err, &f) || !strings.Contains(f.String, "blocked by policy") {
+		t.Errorf("err = %v", err)
+	}
+	// The terminal dispatcher never ran.
+	if sys.server.Stats().Requests != 0 {
+		t.Error("request executed despite short-circuit")
+	}
+}
+
+func TestInterceptorNilResponseBecomesFault(t *testing.T) {
+	broken := func(env *soap.Envelope, info *RequestInfo, next Dispatcher) (*soap.Envelope, *soap.Fault) {
+		return nil, nil
+	}
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.Interceptors = []Interceptor{broken}
+	})
+	_, err := sys.client.Call("Echo", "echo")
+	var f *soap.Fault
+	if !errors.As(err, &f) || f.Code != soap.FaultServer {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPerOperationStats(t *testing.T) {
+	sys := newSystem(t, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := sys.client.Call("Echo", "echo", soapenc.F("i", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sys.client.Call("WeatherService", "GetWeather", soapenc.F("CityName", "Beijing")); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.server.Stats()
+	if st.Operations == nil {
+		t.Fatal("no per-operation stats")
+	}
+	if got := st.Operations["Echo.echo"].Count; got != 3 {
+		t.Errorf("Echo.echo count = %d, want 3", got)
+	}
+	if got := st.Operations["WeatherService.GetWeather"].Count; got != 1 {
+		t.Errorf("GetWeather count = %d, want 1", got)
+	}
+}
+
+func TestServerStatsCounts(t *testing.T) {
+	sys := newSystem(t, nil)
+	sys.client.Call("Echo", "echo")
+	b := sys.client.NewBatch()
+	b.Add("Echo", "echo")
+	b.Add("Echo", "echo")
+	b.Send()
+	st := sys.server.Stats()
+	if st.Envelopes != 2 || st.Requests != 3 || st.PackedMessages != 1 {
+		t.Errorf("server stats = %+v", st)
+	}
+	if st.AppStage.Completed < 3 {
+		t.Errorf("app stage completed = %d", st.AppStage.Completed)
+	}
+}
+
+func TestFetchWSDLDefines(t *testing.T) {
+	sys := newSystem(t, nil)
+	d, err := sys.client.FetchWSDL("WeatherService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Service != "WeatherService" || d.Namespace != "urn:spi:WeatherService" {
+		t.Errorf("description = %+v", d)
+	}
+	if len(d.Operations) == 0 || d.Operations[0] != "GetWeather" {
+		t.Errorf("operations = %v", d.Operations)
+	}
+	if ns := sys.client.NamespaceOf("WeatherService"); ns != "urn:spi:WeatherService" {
+		t.Errorf("namespace after fetch = %q", ns)
+	}
+	if _, err := sys.client.FetchWSDL("NoSuchService"); err == nil {
+		t.Error("WSDL fetch for missing service succeeded")
+	}
+}
+
+func TestNamespaceDefineOverride(t *testing.T) {
+	sys := newSystem(t, nil)
+	if ns := sys.client.NamespaceOf("Echo"); ns != "urn:spi:Echo" {
+		t.Errorf("default ns = %q", ns)
+	}
+	sys.client.Define("Echo", "urn:custom")
+	if ns := sys.client.NamespaceOf("Echo"); ns != "urn:custom" {
+		t.Errorf("defined ns = %q", ns)
+	}
+}
+
+func TestTemplateCacheEndToEnd(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		c.TemplateCache = true
+	})
+	for i := 0; i < 5; i++ {
+		res, err := sys.client.Call("Echo", "echo", soapenc.F("data", fmt.Sprintf("msg-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !soapenc.Equal(res[0].Value, fmt.Sprintf("msg-%d", i)) {
+			t.Errorf("call %d = %v", i, res)
+		}
+	}
+	st := sys.client.TemplateStats()
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Errorf("template stats = %+v, want 1 miss, 4 hits", st)
+	}
+	// Uncacheable shapes still work through the normal path.
+	res, err := sys.client.Call("Echo", "echo", soapenc.F("arr", soapenc.Array{"a", "b"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr, ok := res[0].Value.(soapenc.Array); !ok || len(arr) != 2 {
+		t.Errorf("uncacheable call result = %v", res)
+	}
+	if st := sys.client.TemplateStats(); st.Uncached != 1 {
+		t.Errorf("uncached = %d", st.Uncached)
+	}
+}
+
+func TestTemplateCacheDisabledForSOAP12(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		c.TemplateCache = true
+		c.SOAP12 = true
+	})
+	// Calls work, but bypass the 1.1-format template cache.
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if st := sys.client.TemplateStats(); st.Hits+st.Misses != 0 {
+		t.Errorf("template cache active under SOAP 1.2: %+v", st)
+	}
+}
+
+func TestTemplateCacheDisabledStats(t *testing.T) {
+	sys := newSystem(t, nil)
+	if st := sys.client.TemplateStats(); st != (msgcache.Stats{}) {
+		t.Errorf("stats with cache disabled = %+v", st)
+	}
+}
+
+func TestDifferentialDeserialization(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.DifferentialDeserialization = true
+	})
+	// Identical calls hit the cache; results stay correct.
+	for i := 0; i < 4; i++ {
+		res, err := sys.client.Call("Echo", "echo", soapenc.F("data", "same"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !soapenc.Equal(res[0].Value, "same") {
+			t.Errorf("call %d = %v", i, res)
+		}
+	}
+	// A different message must not be served from the cache.
+	res, err := sys.client.Call("Echo", "echo", soapenc.F("data", "different"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !soapenc.Equal(res[0].Value, "different") {
+		t.Errorf("different call = %v", res)
+	}
+	st := sys.server.Stats()
+	if st.DiffHits != 3 || st.DiffMisses != 2 {
+		t.Errorf("diff stats = hits %d misses %d, want 3/2", st.DiffHits, st.DiffMisses)
+	}
+	// Packed repeats hit too.
+	for i := 0; i < 2; i++ {
+		b := sys.client.NewBatch()
+		c1 := b.Add("Echo", "echo", soapenc.F("data", "packed"))
+		c2 := b.Add("WeatherService", "GetWeather", soapenc.F("CityName", "Beijing"))
+		if err := b.Send(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c1.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if res, err := c2.Wait(); err != nil || !soapenc.Equal(res[0].Value, "Sunny in Beijing") {
+			t.Errorf("packed weather = %v, %v", res, err)
+		}
+	}
+	st = sys.server.Stats()
+	if st.DiffHits != 4 {
+		t.Errorf("diff hits after packed repeats = %d, want 4", st.DiffHits)
+	}
+}
+
+func TestDiffCacheEviction(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.DifferentialDeserialization = true
+		s.DiffCacheSize = 2
+	})
+	// Three distinct messages with capacity 2: the first is evicted, so
+	// repeating it misses again.
+	for _, msg := range []string{"a", "b", "c", "a"} {
+		if _, err := sys.client.Call("Echo", "echo", soapenc.F("data", msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.server.Stats()
+	if st.DiffMisses != 4 || st.DiffHits != 0 {
+		t.Errorf("diff stats = hits %d misses %d, want 0/4 (FIFO eviction)", st.DiffHits, st.DiffMisses)
+	}
+}
+
+func TestAdaptiveAppStage(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.AdaptiveAppStage = true
+		s.AppWorkersMin = 1
+		s.AppWorkers = 16
+	})
+	// Drive a packed burst of slow operations: the controller should grow
+	// the stage, and the requests must all succeed.
+	b := sys.client.NewBatch()
+	var calls []*Call
+	for i := 0; i < 24; i++ {
+		calls = append(calls, b.Add("Echo", "slow"))
+	}
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	st := sys.server.Stats()
+	if st.AppStage.Completed < 24 {
+		t.Errorf("app stage completed = %d", st.AppStage.Completed)
+	}
+	if st.AppStage.Workers < 1 || st.AppStage.Workers > 16 {
+		t.Errorf("adaptive workers = %d, want within [1,16]", st.AppStage.Workers)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("server without container accepted")
+	}
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Error("client without dialer accepted")
+	}
+}

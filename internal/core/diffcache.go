@@ -1,0 +1,93 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+)
+
+// diffCache implements server-side differential deserialization, the §2.2
+// related-work optimization of Abu-Ghazaleh & Lewis (SC-05, the paper's
+// [4]) and Suzumura et al. (ICWS'05, [11]): "both of the approaches take
+// advantage of similarities among messages in an incoming message stream
+// to a web service" to bypass parsing work.
+//
+// Where [4] checkpoints parser state to skip the unchanged prefix of a
+// similar message, this implementation takes the limiting (and very
+// common in benchmarks and polling workloads) case of byte-identical
+// messages: the parsed document of each recently-seen request is kept,
+// keyed by a hash of the raw body, and a hit deep-clones the cached tree
+// instead of re-tokenizing — the same externally-observable effect with a
+// much simpler mechanism. Like the original, it is orthogonal to packing:
+// it cuts per-message CPU, not the number of messages.
+type diffCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[[sha256.Size]byte]*xmldom.Element
+	order   [][sha256.Size]byte // FIFO eviction
+	hits    int64
+	misses  int64
+}
+
+func newDiffCache(capacity int) *diffCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &diffCache{
+		cap:     capacity,
+		entries: make(map[[sha256.Size]byte]*xmldom.Element, capacity),
+	}
+}
+
+// decode parses body, consulting the cache. The returned envelope is
+// always private to the caller (a clone on hits), since dispatch mutates
+// the tree.
+func (d *diffCache) decode(body []byte) (*soap.Envelope, error) {
+	key := sha256.Sum256(body)
+
+	d.mu.Lock()
+	root := d.entries[key]
+	if root != nil {
+		d.hits++
+		// Clone while holding the lock: eviction could otherwise race
+		// with cloning. The tree is small relative to the lock scope.
+		root = root.Clone()
+		d.mu.Unlock()
+		return soap.FromElement(root)
+	}
+	d.misses++
+	d.mu.Unlock()
+
+	parsed, err := xmldom.Parse(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	env, err := soap.FromElement(parsed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Store a pristine copy: the caller's tree gets mutated by dispatch.
+	d.mu.Lock()
+	if _, dup := d.entries[key]; !dup {
+		if len(d.order) >= d.cap {
+			oldest := d.order[0]
+			d.order = d.order[1:]
+			delete(d.entries, oldest)
+		}
+		d.entries[key] = parsed.Clone()
+		d.order = append(d.order, key)
+	}
+	d.mu.Unlock()
+	return env, nil
+}
+
+// stats returns (hits, misses).
+func (d *diffCache) stats() (int64, int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+)
+
+// Failure injection: the paper's system runs in a grid environment where
+// servers restart, links drop and operations hang; a credible
+// implementation must fail cleanly, resolve every future exactly once and
+// never deadlock.
+
+func TestClientTimeoutExpires(t *testing.T) {
+	container := registry.NewContainer()
+	svc := container.MustAddService("Hang", "urn:spi:Hang", "")
+	release := make(chan struct{})
+	svc.MustRegister("forever", func(ctx *registry.Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		<-release
+		return nil, nil
+	}, "")
+
+	link := netsim.NewLink(netsim.Fast())
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{Container: container, AppWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	cli, err := NewClient(ClientConfig{Dial: link.Dial, Timeout: 60 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		close(release)
+		cli.Close()
+		srv.Close()
+		link.Close()
+	})
+
+	start := time.Now()
+	_, err = cli.Call("Hang", "forever")
+	if err == nil {
+		t.Fatal("hung call succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~60ms", elapsed)
+	}
+
+	// Batches time out too, and every future resolves.
+	b := cli.NewBatch()
+	c1 := b.Add("Hang", "forever")
+	c2 := b.Add("Hang", "forever")
+	if err := b.Send(); err == nil {
+		t.Fatal("hung batch succeeded")
+	}
+	for _, c := range []*Call{c1, c2} {
+		if _, err := c.Wait(); err == nil {
+			t.Error("future of failed batch resolved without error")
+		}
+	}
+}
+
+func TestGracefulServerShutdown(t *testing.T) {
+	container := registry.NewContainer()
+	svc := container.MustAddService("Slowish", "urn:spi:Slowish", "")
+	started := make(chan struct{}, 1)
+	svc.MustRegister("op", func(ctx *registry.Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		started <- struct{}{}
+		time.Sleep(30 * time.Millisecond)
+		return []soapenc.Field{soapenc.F("done", true)}, nil
+	}, "")
+
+	link := netsim.NewLink(netsim.Fast())
+	lis, _ := link.Listen()
+	srv, err := NewServer(ServerConfig{Container: container})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	cli, err := NewClient(ClientConfig{Dial: link.Dial, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(); link.Close() })
+
+	// Fire a call, then shut down while it is in flight: the call must
+	// complete successfully.
+	result := make(chan error, 1)
+	go func() {
+		_, err := cli.Call("Slowish", "op")
+		result <- err
+	}()
+	<-started
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-result; err != nil {
+		t.Errorf("in-flight call failed during graceful shutdown: %v", err)
+	}
+	// New calls are refused afterwards.
+	if _, err := cli.Call("Slowish", "op"); err == nil {
+		t.Error("call after shutdown succeeded")
+	}
+}
+
+func TestServerClosedMidSession(t *testing.T) {
+	sys := newSystem(t, nil)
+	if _, err := sys.client.Call("Echo", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	sys.server.Close()
+	if _, err := sys.client.Call("Echo", "echo"); err == nil {
+		t.Error("call after server close succeeded")
+	}
+	// Batch futures also resolve with errors, never hang.
+	b := sys.client.NewBatch()
+	call := b.Add("Echo", "echo")
+	if err := b.Send(); err == nil {
+		t.Error("batch after server close succeeded")
+	}
+	done := make(chan struct{})
+	go func() {
+		call.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("future never resolved after server close")
+	}
+}
+
+func TestLinkClosedMidSession(t *testing.T) {
+	sys := newSystem(t, nil)
+	if _, err := sys.client.Call("Echo", "echo"); err != nil {
+		t.Fatal(err)
+	}
+	sys.link.Close()
+	if _, err := sys.client.Call("Echo", "echo"); err == nil {
+		t.Error("call over closed link succeeded")
+	}
+}
+
+func TestConcurrentCallsDuringClose(t *testing.T) {
+	// Hammer the server with calls while it shuts down: no panics, no
+	// hangs; each call either succeeds or errors.
+	sys := newSystem(t, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				_, _ = sys.client.Call("Echo", "echo", soapenc.F("j", int64(j)))
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	sys.server.Close()
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("calls hung during server close")
+	}
+}
+
+func TestPanickingHandlerInPackDoesNotPoisonBatch(t *testing.T) {
+	container := registry.NewContainer()
+	svc := container.MustAddService("Mix", "urn:spi:Mix", "")
+	svc.MustRegister("ok", func(ctx *registry.Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		return p, nil
+	}, "")
+	svc.MustRegister("boom", func(ctx *registry.Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		panic("handler exploded")
+	}, "")
+
+	link := netsim.NewLink(netsim.Fast())
+	lis, _ := link.Listen()
+	srv, err := NewServer(ServerConfig{Container: container})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	cli, err := NewClient(ClientConfig{Dial: link.Dial, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close(); srv.Close(); link.Close() })
+
+	b := cli.NewBatch()
+	good := b.Add("Mix", "ok", soapenc.F("v", "survives"))
+	bad := b.Add("Mix", "boom")
+	good2 := b.Add("Mix", "ok", soapenc.F("v", "also survives"))
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := good.Wait(); err != nil || !soapenc.Equal(res[0].Value, "survives") {
+		t.Errorf("good = %v, %v", res, err)
+	}
+	if _, err := bad.Wait(); err == nil {
+		t.Error("panicking op succeeded")
+	}
+	if res, err := good2.Wait(); err != nil || !soapenc.Equal(res[0].Value, "also survives") {
+		t.Errorf("good2 = %v, %v", res, err)
+	}
+	// The server survives for further traffic.
+	if _, err := cli.Call("Mix", "ok", soapenc.F("v", "after")); err != nil {
+		t.Errorf("server dead after handler panic: %v", err)
+	}
+}
+
+func TestOversizedRequestRejected(t *testing.T) {
+	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
+		s.MaxBodyBytes = 1024
+	})
+	_, err := sys.client.Call("Echo", "echo", soapenc.F("data", string(make([]byte, 10_000))))
+	if err == nil {
+		t.Error("oversized request accepted")
+	}
+}
+
+func TestTransportErrorIsNotAFault(t *testing.T) {
+	// A pure transport failure must not masquerade as a SOAP fault.
+	link := netsim.NewLink(netsim.Fast())
+	cli, err := NewClient(ClientConfig{Dial: link.Dial, Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	defer link.Close()
+	_, err = cli.Call("Echo", "echo") // no listener at all
+	if err == nil {
+		t.Fatal("call without server succeeded")
+	}
+	var f *soap.Fault
+	if errors.As(err, &f) {
+		t.Errorf("transport error surfaced as fault: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"repro/internal/soap"
+)
+
+// The interceptor chain mirrors the architecture the paper built on:
+// "Due to the handler chains model, which is the Axis's architecture, we
+// implemented our technique as server handlers. So, services code need
+// not be modified." (§3.6). In this implementation the pack/plan
+// dispatcher plays the role of the terminal handler, and user-supplied
+// interceptors wrap it the way Axis handlers wrapped the pivot — for
+// logging, metering, validation, or request rewriting — again with no
+// change to service code.
+
+// RequestInfo describes the message an interceptor is seeing.
+type RequestInfo struct {
+	// Target is the HTTP request target, e.g. "/services/Echo".
+	Target string
+	// DefaultService is the service addressed by the URL ("" on the pack
+	// endpoint).
+	DefaultService string
+	// Version is the request's SOAP version.
+	Version soap.Version
+}
+
+// Dispatcher continues processing an envelope and produces the response
+// envelope or a fault.
+type Dispatcher func(env *soap.Envelope) (*soap.Envelope, *soap.Fault)
+
+// Interceptor wraps envelope dispatch. It may inspect or replace the
+// request envelope, short-circuit with its own response or fault, and
+// inspect or replace the response on the way out.
+type Interceptor func(env *soap.Envelope, info *RequestInfo, next Dispatcher) (*soap.Envelope, *soap.Fault)
+
+// buildChain composes the configured interceptors (first configured is
+// outermost) around the terminal dispatcher.
+func buildChain(interceptors []Interceptor, info *RequestInfo, terminal Dispatcher) Dispatcher {
+	next := terminal
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		ic := interceptors[i]
+		inner := next
+		next = func(env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
+			return ic(env, info, inner)
+		}
+	}
+	return next
+}

@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/stage"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// Execution plans — the SPI "remote execution" interface.
+//
+// The paper's §1/§3 introduce SPI as "a group of application programming
+// interfaces ... such as packing, remote execution, et al." and publish
+// only the pack interface, leaving the rest as future work ("we will
+// implement and evaluate the suite of interfaces in SPI"). This file
+// implements the natural next interface in that suite: an execution plan.
+//
+// A plan generalizes a pack: it is a set of service invocations shipped in
+// one SOAP message in which a parameter of a later step may *reference a
+// result of an earlier step*. The server schedules steps on the
+// application stage as their dependencies resolve — independent steps run
+// concurrently, dependent steps run as soon as their inputs exist — and
+// returns all results in one packed response. Call chains that would cost
+// one round trip per step (reserve-then-confirm, query-then-book) collapse
+// into a single exchange.
+//
+// Wire format (all in the spi namespace of the pack interface):
+//
+//	<spi:Execution_Plan>
+//	  <m:QueryFlights spi:id="0" spi:service="Airline1">...</m:QueryFlights>
+//	  <m:Reserve spi:id="1" spi:service="Airline1">
+//	    <flight><spi:ref spi:step="0" spi:result="flight"/></flight>
+//	  </m:Reserve>
+//	</spi:Execution_Plan>
+//
+// The response reuses Parallel_Response, one entry per step.
+
+// ElemExecutionPlan is the plan's body element local name.
+const ElemExecutionPlan = "Execution_Plan"
+
+// elemRef is the parameter-reference element local name.
+const elemRef = "ref"
+
+var (
+	attrStep   = xmltext.Name{Prefix: PrefixPack, Local: "step"}
+	attrResult = xmltext.Name{Prefix: PrefixPack, Local: "result"}
+)
+
+// planRef is the client-side marker value produced by StepHandle.Ref.
+type planRef struct {
+	step   int
+	result string
+}
+
+// isPlanBody reports whether a body entry is an Execution_Plan element.
+func isPlanBody(el *xmldom.Element) bool {
+	return el.Is(NSPack, ElemExecutionPlan)
+}
+
+// Plan builds a multi-step remote execution shipped as one SOAP message.
+// Like Batch it is single-goroutine for construction; futures may be
+// awaited anywhere.
+type Plan struct {
+	client   *Client
+	steps    []*planStep
+	sent     bool
+	buildErr error
+}
+
+type planStep struct {
+	service string
+	op      string
+	params  []soapenc.Field
+	call    *Call
+}
+
+// StepHandle names one step of a plan: a future for its results plus a
+// factory for references to them.
+type StepHandle struct {
+	*Call
+	plan  *Plan
+	index int
+}
+
+// Ref returns a parameter value that the server resolves to the named
+// result field of this step, after the step has executed.
+func (h *StepHandle) Ref(result string) soapenc.Value {
+	return &planRef{step: h.index, result: result}
+}
+
+// NewPlan starts an empty execution plan.
+func (c *Client) NewPlan() *Plan {
+	return &Plan{client: c}
+}
+
+// Add appends a step. Parameters may include values returned by the Ref
+// method of earlier steps' handles.
+func (p *Plan) Add(service, op string, params ...soapenc.Field) *StepHandle {
+	h := &StepHandle{Call: newCall(service, op), plan: p, index: len(p.steps)}
+	if p.sent {
+		h.Call.resolve(nil, fmt.Errorf("core: Add after Send"))
+		return h
+	}
+	for _, param := range params {
+		if ref, ok := param.Value.(*planRef); ok && ref.step >= len(p.steps) {
+			if p.buildErr == nil {
+				p.buildErr = fmt.Errorf("core: step %d references step %d, which is not earlier", len(p.steps), ref.step)
+			}
+		}
+	}
+	p.steps = append(p.steps, &planStep{service: service, op: op, params: params, call: h.Call})
+	p.client.calls.Add(1)
+	return h
+}
+
+// Len returns the number of steps added so far.
+func (p *Plan) Len() int { return len(p.steps) }
+
+// Send ships the plan in one SOAP message, waits for the packed response
+// and resolves every step future.
+func (p *Plan) Send() error {
+	if p.sent {
+		return fmt.Errorf("core: plan already sent")
+	}
+	p.sent = true
+	if len(p.steps) == 0 {
+		return fmt.Errorf("core: empty plan")
+	}
+	resolveAll := func(err error) {
+		for _, s := range p.steps {
+			s.call.resolve(nil, err)
+		}
+	}
+	if p.buildErr != nil {
+		resolveAll(p.buildErr)
+		return p.buildErr
+	}
+
+	body, err := p.encode()
+	if err != nil {
+		resolveAll(err)
+		return err
+	}
+	p.client.batches.Add(1)
+	respEnv, err := p.client.exchange(p.client.packTarget(), []*xmldom.Element{body})
+	if err != nil {
+		resolveAll(err)
+		return err
+	}
+	if f := respEnv.Fault(); f != nil {
+		p.client.faults.Add(1)
+		resolveAll(f)
+		return f
+	}
+	if len(respEnv.Body) != 1 || !isPackedResponse(respEnv.Body[0]) {
+		err := fmt.Errorf("core: plan response is not a %s", ElemParallelResponse)
+		resolveAll(err)
+		return err
+	}
+	results, err := decodePackedResponse(respEnv.Body[0])
+	if err != nil {
+		resolveAll(err)
+		return err
+	}
+	for id, s := range p.steps {
+		res, ok := results[id]
+		switch {
+		case !ok:
+			s.call.resolve(nil, fmt.Errorf("core: no response for plan step %d (%s.%s)", id, s.service, s.op))
+		case res.fault != nil:
+			p.client.faults.Add(1)
+			s.call.resolve(nil, res.fault)
+		default:
+			s.call.resolve(res.results, nil)
+		}
+	}
+	return nil
+}
+
+// encode builds the Execution_Plan body element.
+func (p *Plan) encode() (*xmldom.Element, error) {
+	root := xmldom.NewElement(xmltext.Name{Prefix: PrefixPack, Local: ElemExecutionPlan})
+	root.DeclareNamespace(PrefixPack, NSPack)
+	for i, s := range p.steps {
+		el := xmldom.NewElement(xmltext.Name{Prefix: "m", Local: s.op})
+		el.DeclareNamespace("m", p.client.NamespaceOf(s.service))
+		el.SetAttr(attrID, strconv.Itoa(i))
+		el.SetAttr(attrService, s.service)
+		for _, param := range s.params {
+			if param.Name == "" {
+				return nil, fmt.Errorf("core: plan step %d has a parameter with no name", i)
+			}
+			if ref, ok := param.Value.(*planRef); ok {
+				wrap := el.AddElement(xmltext.Name{Local: param.Name})
+				refEl := wrap.AddElement(xmltext.Name{Prefix: PrefixPack, Local: elemRef})
+				refEl.SetAttr(attrStep, strconv.Itoa(ref.step))
+				refEl.SetAttr(attrResult, ref.result)
+				continue
+			}
+			if _, err := soapenc.Encode(el, param.Name, param.Value); err != nil {
+				return nil, fmt.Errorf("core: plan step %d param %q: %w", i, param.Name, err)
+			}
+		}
+		root.AddChild(el)
+	}
+	return root, nil
+}
+
+// ---- server side ----
+
+// planNode is one decoded plan step with its dependencies.
+type planNode struct {
+	req       *rpcRequest
+	deps      []planDep // parameter index -> (step, result)
+	waitsOn   map[int]bool
+	children  []int // nodes that depend on this one (deduplicated)
+	scheduled bool  // guarded by the plan mutex; prevents double dispatch
+	fault     *soap.Fault
+}
+
+type planDep struct {
+	paramIndex int
+	step       int
+	result     string
+}
+
+// dispatchPlan executes an Execution_Plan body entry: steps scheduled on
+// the application stage as their dependencies resolve.
+func (s *Server) dispatchPlan(plan *xmldom.Element, ctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+	entries := plan.ChildElements()
+	if len(entries) == 0 {
+		return nil, soap.ClientFault("%s has no steps", ElemExecutionPlan)
+	}
+	s.packed.Add(1)
+
+	nodes := make([]*planNode, len(entries))
+	for i, el := range entries {
+		node, fault := decodePlanStep(el, defaultService, i, len(entries))
+		if fault != nil {
+			return nil, fault
+		}
+		nodes[i] = node
+	}
+	// Index children for wakeups, deduplicating multiple references to
+	// the same parent (e.g. two parameters both reading step 0).
+	for i, n := range nodes {
+		seen := map[int]bool{}
+		for _, d := range n.deps {
+			if !seen[d.step] {
+				seen[d.step] = true
+				nodes[d.step].children = append(nodes[d.step].children, i)
+			}
+		}
+	}
+
+	results := make([]*rpcResult, len(nodes))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(len(nodes))
+
+	coupled := s.cfg.Coupled || s.appPool == nil
+
+	var schedule func(idx int)
+	runNode := func(idx int) {
+		defer wg.Done()
+		node := nodes[idx]
+
+		mu.Lock()
+		// Substitute resolved references into the parameters.
+		for _, d := range node.deps {
+			src := results[d.step]
+			if src == nil {
+				// Cannot happen: scheduling guarantees dependency order.
+				node.fault = soap.ServerFault("internal: step %d ran before its dependency %d", idx, d.step)
+				break
+			}
+			if src.fault != nil {
+				node.fault = soap.ClientFault("step %d depends on step %d, which faulted: %s", idx, d.step, src.fault.String)
+				break
+			}
+			v, ok := findResult(src.results, d.result)
+			if !ok {
+				node.fault = soap.ClientFault("step %d references result %q of step %d, which has no such result", idx, d.result, d.step)
+				break
+			}
+			node.req.params[d.paramIndex].Value = v
+		}
+		fault := node.fault
+		mu.Unlock()
+
+		var res *rpcResult
+		if fault != nil {
+			res = &rpcResult{id: node.req.id, service: node.req.service, op: node.req.op, fault: fault}
+		} else {
+			res = s.execute(node.req, ctx)
+		}
+
+		mu.Lock()
+		results[idx] = res
+		// Wake children whose last dependency this was.
+		var ready []int
+		for _, child := range node.children {
+			delete(nodes[child].waitsOn, idx)
+			if len(nodes[child].waitsOn) == 0 && !nodes[child].scheduled {
+				nodes[child].scheduled = true
+				ready = append(ready, child)
+			}
+		}
+		mu.Unlock()
+		for _, child := range ready {
+			schedule(child)
+		}
+	}
+	schedule = func(idx int) {
+		if coupled {
+			runNode(idx)
+			return
+		}
+		// TrySubmit rather than Submit: a worker scheduling its children
+		// must never block on a full queue, or all workers could block on
+		// each other. On overload the step runs inline on the current
+		// goroutine instead (bounded by the plan's chain depth).
+		switch err := s.appPool.TrySubmit(func() { runNode(idx) }); err {
+		case nil:
+		case stage.ErrQueueFull:
+			runNode(idx)
+		default:
+			mu.Lock()
+			results[idx] = &rpcResult{id: nodes[idx].req.id, service: nodes[idx].req.service,
+				op: nodes[idx].req.op, fault: soap.ServerFault("application stage unavailable: %v", err)}
+			mu.Unlock()
+			wg.Done()
+		}
+	}
+
+	// Launch the roots; everything else is woken by its dependencies.
+	var roots []int
+	for i, n := range nodes {
+		if len(n.waitsOn) == 0 {
+			n.scheduled = true
+			roots = append(roots, i)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, soap.ClientFault("%s has a dependency cycle", ElemExecutionPlan)
+	}
+	for _, idx := range roots {
+		schedule(idx)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r != nil && r.fault != nil {
+			s.itemFaults.Add(1)
+		}
+	}
+	respEl, err := buildPackedResponse(results, s.namespaceOf)
+	if err != nil {
+		return nil, soap.ServerFault("assembling plan response: %v", err)
+	}
+	out := soap.New()
+	out.Header = ctx.ResponseHeaders()
+	out.AddBody(respEl)
+	return out, nil
+}
+
+// decodePlanStep interprets one step element, extracting reference
+// parameters.
+func decodePlanStep(el *xmldom.Element, defaultService string, idx, total int) (*planNode, *soap.Fault) {
+	// References must be recognized before generic parameter decoding, so
+	// walk children manually.
+	node := &planNode{waitsOn: make(map[int]bool)}
+	req := &rpcRequest{id: idx, service: defaultService, op: el.Name.Local}
+	if v, ok := el.Attr(attrService); ok {
+		req.service = v
+	}
+	if v, ok := el.Attr(attrID); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, soap.ClientFault("step %q: bad spi:id %q", el.Name.Local, v)
+		}
+		req.id = n
+	}
+	if req.service == "" {
+		return nil, soap.ClientFault("step %q names no service", el.Name.Local)
+	}
+	for _, child := range el.ChildElements() {
+		if ref := child.Child(NSPack, elemRef); ref != nil {
+			stepStr := ref.AttrValue(attrStep)
+			step, err := strconv.Atoi(stepStr)
+			if err != nil || step < 0 || step >= total {
+				return nil, soap.ClientFault("step %d: bad reference step %q", idx, stepStr)
+			}
+			if step >= idx {
+				return nil, soap.ClientFault("step %d references step %d; references must point to earlier steps", idx, step)
+			}
+			result := ref.AttrValue(attrResult)
+			if result == "" {
+				return nil, soap.ClientFault("step %d: reference without a result name", idx)
+			}
+			node.deps = append(node.deps, planDep{
+				paramIndex: len(req.params),
+				step:       step,
+				result:     result,
+			})
+			node.waitsOn[step] = true
+			req.params = append(req.params, soapenc.Field{Name: child.Name.Local})
+			continue
+		}
+		v, err := soapenc.Decode(child)
+		if err != nil {
+			return nil, soap.ClientFault("step %d param %q: %v", idx, child.Name.Local, err)
+		}
+		req.params = append(req.params, soapenc.Field{Name: child.Name.Local, Value: v})
+	}
+	node.req = req
+	return node, nil
+}
+
+// findResult locates a named field in a result list; a dotted name
+// ("offer.price") digs into struct results.
+func findResult(results []soapenc.Field, name string) (soapenc.Value, bool) {
+	head, rest, nested := strings.Cut(name, ".")
+	for _, f := range results {
+		if f.Name != head {
+			continue
+		}
+		if !nested {
+			return f.Value, true
+		}
+		st, ok := f.Value.(*soapenc.Struct)
+		if !ok {
+			return nil, false
+		}
+		return findResult(st.Fields, rest)
+	}
+	return nil, false
+}

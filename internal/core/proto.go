@@ -1,0 +1,207 @@
+// Package core implements SPI, the SOAP Passing Interface of the paper:
+// the pack wire format (Figure 4), the client-side assembler/dispatcher
+// (pack many calls into one envelope, route the packed response back to the
+// callers), and the server-side dispatcher/assembler running on a staged
+// thread-pool architecture (unpack a message into concurrent operation
+// executions, pack their responses into one reply).
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// Wire-format constants of the SPI pack extension.
+const (
+	// NSPack is the namespace of the packing elements. The paper's group
+	// was at ICT, CAS; the namespace follows their convention.
+	NSPack = "http://spi.ict.ac.cn/pack"
+	// PrefixPack is the conventional prefix for NSPack.
+	PrefixPack = "spi"
+	// ElemParallelMethod is the packed-request body element of Figure 4:
+	// its children are the individual RPC request elements.
+	ElemParallelMethod = "Parallel_Method"
+	// ElemParallelResponse is the packed-response body element.
+	ElemParallelResponse = "Parallel_Response"
+)
+
+var (
+	attrID      = xmltext.Name{Prefix: PrefixPack, Local: "id"}
+	attrService = xmltext.Name{Prefix: PrefixPack, Local: "service"}
+)
+
+// rpcRequest is one service invocation in decoded form.
+type rpcRequest struct {
+	id      int // correlation id within a packed message (0-based)
+	service string
+	op      string
+	params  []soapenc.Field
+}
+
+// rpcResult is the outcome of one invocation: results or a fault.
+type rpcResult struct {
+	id      int
+	op      string
+	service string
+	results []soapenc.Field
+	fault   *soap.Fault
+	headers []*xmldom.Element // response header blocks contributed
+}
+
+// encodeRequestElement builds the RPC request element
+// <m:op xmlns:m="serviceNS">params...</m:op>.
+func encodeRequestElement(serviceNS, op string, params []soapenc.Field) (*xmldom.Element, error) {
+	el := xmldom.NewElement(xmltext.Name{Prefix: "m", Local: op})
+	el.DeclareNamespace("m", serviceNS)
+	if err := soapenc.EncodeParams(el, params); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+// encodeResponseElement builds <m:opResponse xmlns:m="serviceNS">.
+func encodeResponseElement(serviceNS, op string, results []soapenc.Field) (*xmldom.Element, error) {
+	return encodeRequestElement(serviceNS, op+"Response", results)
+}
+
+// buildPackedRequest assembles the Parallel_Method body element from a list
+// of request elements. Each child is annotated with its correlation id and
+// target service — this is the client-side assembler of §3.4.
+func buildPackedRequest(reqs []*packedEntry) *xmldom.Element {
+	pm := xmldom.NewElement(xmltext.Name{Prefix: PrefixPack, Local: ElemParallelMethod})
+	pm.DeclareNamespace(PrefixPack, NSPack)
+	for i, r := range reqs {
+		r.element.SetAttr(attrID, strconv.Itoa(i))
+		r.element.SetAttr(attrService, r.service)
+		pm.AddChild(r.element)
+	}
+	return pm
+}
+
+// packedEntry pairs a request element with its target service.
+type packedEntry struct {
+	service string
+	element *xmldom.Element
+}
+
+// isPackedRequest reports whether a body entry is a Parallel_Method element.
+func isPackedRequest(el *xmldom.Element) bool {
+	return el.Is(NSPack, ElemParallelMethod)
+}
+
+// isPackedResponse reports whether a body entry is a Parallel_Response
+// element.
+func isPackedResponse(el *xmldom.Element) bool {
+	return el.Is(NSPack, ElemParallelResponse)
+}
+
+// decodeRequestElement interprets one RPC request element. defaultService
+// is used when the element carries no spi:service attribute (plain,
+// unpacked requests addressed by URL); id is the positional fallback when
+// no spi:id attribute is present.
+func decodeRequestElement(el *xmldom.Element, defaultService string, id int) (*rpcRequest, *soap.Fault) {
+	req := &rpcRequest{id: id, service: defaultService, op: el.Name.Local}
+	if v, ok := el.Attr(attrService); ok {
+		if uri, resolved := el.ResolvePrefix(attrService.Prefix); !resolved || uri != NSPack {
+			return nil, soap.ClientFault("request %q: spi:service attribute in wrong namespace", el.Name.Local)
+		}
+		req.service = v
+	}
+	if v, ok := el.Attr(attrID); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, soap.ClientFault("request %q: bad spi:id %q", el.Name.Local, v)
+		}
+		req.id = n
+	}
+	if req.service == "" {
+		return nil, soap.ClientFault("request %q names no service", el.Name.Local)
+	}
+	params, err := soapenc.DecodeParams(el)
+	if err != nil {
+		return nil, soap.ClientFault("request %s.%s: %v", req.service, req.op, err)
+	}
+	req.params = params
+	return req, nil
+}
+
+// buildPackedResponse assembles the Parallel_Response body element from the
+// per-request outcomes — the server-side assembler of §3.4. Results keep
+// the order of results[]; each child carries its spi:id. Faulted entries
+// become per-item SOAP-ENV:Fault children, so one failed operation does not
+// poison its batch.
+func buildPackedResponse(results []*rpcResult, serviceNS func(service string) string) (*xmldom.Element, error) {
+	pr := xmldom.NewElement(xmltext.Name{Prefix: PrefixPack, Local: ElemParallelResponse})
+	pr.DeclareNamespace(PrefixPack, NSPack)
+	for _, r := range results {
+		var child *xmldom.Element
+		if r.fault != nil {
+			child = r.fault.Element()
+		} else {
+			ns := serviceNS(r.service)
+			var err error
+			child, err = encodeResponseElement(ns, r.op, r.results)
+			if err != nil {
+				return nil, err
+			}
+		}
+		child.SetAttr(attrID, strconv.Itoa(r.id))
+		pr.AddChild(child)
+	}
+	return pr, nil
+}
+
+// decodePackedResponse splits a Parallel_Response into per-id outcomes for
+// the client-side dispatcher of §3.5. The map is keyed by correlation id.
+func decodePackedResponse(el *xmldom.Element) (map[int]*rpcResult, error) {
+	out := make(map[int]*rpcResult)
+	for i, child := range el.ChildElements() {
+		id := i
+		if v, ok := child.Attr(attrID); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad spi:id %q in packed response", v)
+			}
+			id = n
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("core: duplicate spi:id %d in packed response", id)
+		}
+		res := &rpcResult{id: id}
+		if child.Is(soap.NSEnvelope, "Fault") {
+			res.fault = faultFromElement(child)
+		} else {
+			fields, err := soapenc.DecodeParams(child)
+			if err != nil {
+				return nil, fmt.Errorf("core: packed response entry %d: %v", id, err)
+			}
+			res.results = fields
+		}
+		out[id] = res
+	}
+	return out, nil
+}
+
+// faultFromElement decodes a Fault element outside of envelope context
+// (per-item faults inside a packed response).
+func faultFromElement(el *xmldom.Element) *soap.Fault {
+	f := &soap.Fault{}
+	if c := el.Child("", "faultcode"); c != nil {
+		f.Code = xmltext.ParseName(c.Text()).Local
+	}
+	if c := el.Child("", "faultstring"); c != nil {
+		f.String = c.Text()
+	}
+	if c := el.Child("", "faultactor"); c != nil {
+		f.Actor = c.Text()
+	}
+	if c := el.Child("", "detail"); c != nil {
+		f.Detail = c
+	}
+	return f
+}

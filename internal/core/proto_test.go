@@ -1,0 +1,194 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+func mustRequestElement(t *testing.T, ns, op string, params ...soapenc.Field) *xmldom.Element {
+	t.Helper()
+	el, err := encodeRequestElement(ns, op, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return el
+}
+
+// reparse round-trips an element through serialization inside an envelope,
+// as the wire does.
+func reparse(t *testing.T, body *xmldom.Element) *xmldom.Element {
+	t.Helper()
+	env := soap.New()
+	env.AddBody(body)
+	var b strings.Builder
+	if err := env.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := soap.Decode(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parsed.Body[0]
+}
+
+func TestDecodeRequestElementDefaults(t *testing.T) {
+	el := reparse(t, mustRequestElement(t, "urn:s", "op", soapenc.F("x", "1")))
+	req, fault := decodeRequestElement(el, "FromURL", 7)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if req.service != "FromURL" || req.op != "op" || req.id != 7 {
+		t.Errorf("req = %+v", req)
+	}
+	if len(req.params) != 1 || req.params[0].Name != "x" {
+		t.Errorf("params = %v", req.params)
+	}
+}
+
+func TestDecodeRequestElementNoService(t *testing.T) {
+	el := reparse(t, mustRequestElement(t, "urn:s", "op"))
+	_, fault := decodeRequestElement(el, "", 0)
+	if fault == nil || fault.Code != soap.FaultClient {
+		t.Errorf("fault = %v", fault)
+	}
+}
+
+func TestDecodeRequestElementBadID(t *testing.T) {
+	el := mustRequestElement(t, "urn:s", "op")
+	pm := buildPackedRequest([]*packedEntry{{service: "S", element: el}})
+	el.SetAttr(attrID, "not-a-number")
+	wire := reparse(t, pm).ChildElements()[0]
+	_, fault := decodeRequestElement(wire, "", 0)
+	if fault == nil || !strings.Contains(fault.String, "bad spi:id") {
+		t.Errorf("fault = %v", fault)
+	}
+}
+
+func TestDecodeRequestNegativeID(t *testing.T) {
+	el := mustRequestElement(t, "urn:s", "op")
+	pm := buildPackedRequest([]*packedEntry{{service: "S", element: el}})
+	el.SetAttr(attrID, "-3")
+	wire := reparse(t, pm).ChildElements()[0]
+	if _, fault := decodeRequestElement(wire, "", 0); fault == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestSpiAttributesRequireNamespace(t *testing.T) {
+	// An element with spi:service whose "spi" prefix resolves to the wrong
+	// namespace is rejected, preventing attribute spoofing.
+	doc := `<m:op xmlns:m="urn:s" xmlns:spi="urn:evil" spi:service="Victim"/>`
+	el, err := xmldom.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fault := decodeRequestElement(el, "", 0)
+	if fault == nil || !strings.Contains(fault.String, "wrong namespace") {
+		t.Errorf("fault = %v", fault)
+	}
+}
+
+func TestPackedResponseOrderAndIDs(t *testing.T) {
+	results := []*rpcResult{
+		{id: 2, service: "S", op: "op", results: []soapenc.Field{soapenc.F("v", "two")}},
+		{id: 0, service: "S", op: "op", results: []soapenc.Field{soapenc.F("v", "zero")}},
+		{id: 1, service: "S", op: "op", fault: soap.ClientFault("broken")},
+	}
+	pr, err := buildPackedResponse(results, func(string) string { return "urn:s" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := reparse(t, pr)
+	if !isPackedResponse(wire) {
+		t.Fatal("not recognized as packed response")
+	}
+	decoded, err := decodePackedResponse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d entries", len(decoded))
+	}
+	if !soapenc.Equal(decoded[2].results[0].Value, "two") {
+		t.Errorf("id 2 = %v", decoded[2].results)
+	}
+	if !soapenc.Equal(decoded[0].results[0].Value, "zero") {
+		t.Errorf("id 0 = %v", decoded[0].results)
+	}
+	if decoded[1].fault == nil || decoded[1].fault.String != "broken" {
+		t.Errorf("id 1 fault = %v", decoded[1].fault)
+	}
+}
+
+func TestDecodePackedResponseDuplicateID(t *testing.T) {
+	pr := xmldom.NewElement(xmltext.Name{Prefix: PrefixPack, Local: ElemParallelResponse})
+	pr.DeclareNamespace(PrefixPack, NSPack)
+	for i := 0; i < 2; i++ {
+		c := pr.AddElement(xmltext.Name{Local: "opResponse"})
+		c.SetAttr(attrID, "0")
+	}
+	if _, err := decodePackedResponse(reparse(t, pr)); err == nil {
+		t.Error("duplicate ids accepted")
+	}
+}
+
+func TestDecodePackedResponsePositionalFallback(t *testing.T) {
+	// Entries without spi:id fall back to document order.
+	pr := xmldom.NewElement(xmltext.Name{Prefix: PrefixPack, Local: ElemParallelResponse})
+	pr.DeclareNamespace(PrefixPack, NSPack)
+	a := pr.AddElement(xmltext.Name{Local: "opResponse"})
+	a.AddElement(xmltext.Name{Local: "v"}).SetText("first")
+	b := pr.AddElement(xmltext.Name{Local: "opResponse"})
+	b.AddElement(xmltext.Name{Local: "v"}).SetText("second")
+	decoded, err := decodePackedResponse(reparse(t, pr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !soapenc.Equal(decoded[0].results[0].Value, "first") || !soapenc.Equal(decoded[1].results[0].Value, "second") {
+		t.Errorf("decoded = %v", decoded)
+	}
+}
+
+func TestFaultFromElementComplete(t *testing.T) {
+	f := &soap.Fault{Code: soap.FaultClient, String: "why", Actor: "urn:who"}
+	det := xmldom.NewElement(xmltext.Name{Local: "detail"})
+	det.AddElement(xmltext.Name{Local: "code"}).SetText("9")
+	f.Detail = det
+	got := faultFromElement(reparse(t, f.Element()))
+	if got.Code != soap.FaultClient || got.String != "why" || got.Actor != "urn:who" {
+		t.Errorf("fault = %+v", got)
+	}
+	if got.Detail == nil || got.Detail.Child("", "code").Text() != "9" {
+		t.Errorf("detail = %v", got.Detail)
+	}
+}
+
+func TestIsPackedPredicates(t *testing.T) {
+	plain := mustRequestElement(t, "urn:s", "op")
+	if isPackedRequest(plain) || isPackedResponse(plain) {
+		t.Error("plain request misclassified")
+	}
+	// Same local name, wrong namespace.
+	fake, err := xmldom.ParseString(`<Parallel_Method xmlns="urn:not-spi"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isPackedRequest(fake) {
+		t.Error("wrong-namespace Parallel_Method accepted")
+	}
+}
+
+func TestEncodeResponseElementName(t *testing.T) {
+	el, err := encodeResponseElement("urn:s", "GetWeather", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Name.Local != "GetWeatherResponse" {
+		t.Errorf("response element = %s", el.Name)
+	}
+}

@@ -1,0 +1,611 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/stage"
+	"repro/internal/wsdl"
+	"repro/internal/xmldom"
+)
+
+// HeaderProcessor handles one kind of SOAP header block on the server —
+// the extension point WS-Security (package wsse) plugs into. A processor
+// that returns an error faults the whole message.
+type HeaderProcessor interface {
+	// HeaderName returns the namespace URI and local name of the blocks
+	// this processor understands.
+	HeaderName() (ns, local string)
+	// ProcessHeader validates/consumes one matching header block. body is
+	// the canonical serialization of the envelope's body entries, for
+	// signature verification.
+	ProcessHeader(block *xmldom.Element, body []byte) error
+}
+
+// ServerConfig configures an SPI server.
+type ServerConfig struct {
+	// Container holds the deployed services. Required.
+	Container *registry.Container
+
+	// AppWorkers is the application-stage pool width (default 32). This is
+	// the second, independent thread pool of §3.3 that executes service
+	// operations. With AdaptiveAppStage it becomes the ceiling.
+	AppWorkers int
+	// AppQueue is the application-stage queue depth (default 1024).
+	AppQueue int
+	// AdaptiveAppStage replaces the fixed pool with a SEDA-style
+	// controller-managed pool that grows under queue pressure and shrinks
+	// when idle, between AppWorkersMin and AppWorkers (SEDA §4.2, the
+	// paper's reference [5]).
+	AdaptiveAppStage bool
+	// AppWorkersMin is the adaptive pool's floor (default 2).
+	AppWorkersMin int
+
+	// ProtocolWorkers, when > 0, bounds the number of requests in protocol
+	// processing simultaneously, modelling the first-stage thread pool.
+	// Zero means unbounded (one goroutine per connection).
+	ProtocolWorkers int
+
+	// Coupled disables the staged architecture: operations execute inline
+	// on the protocol goroutine, exactly the traditional coupled
+	// architecture of the paper's Figure 1. Packed messages then execute
+	// their requests serially. For ablation benchmarks.
+	Coupled bool
+
+	// PathPrefix is the URL prefix services are mounted under
+	// (default "/services/").
+	PathPrefix string
+
+	// HeaderProcessors handle recognised header blocks (e.g. WS-Security).
+	HeaderProcessors []HeaderProcessor
+
+	// Interceptors wrap envelope dispatch, first entry outermost — the
+	// Axis handler-chain architecture the paper's implementation plugged
+	// into (§3.6). They run after header processing, around the
+	// pack/plan/single dispatcher.
+	Interceptors []Interceptor
+
+	// MaxBodyBytes caps request bodies; zero means the httpx default.
+	MaxBodyBytes int64
+
+	// DifferentialDeserialization enables the §2.2 related-work
+	// server-side optimization ([4]/[11]): repeated byte-identical
+	// request bodies reuse a cached parse instead of re-tokenizing.
+	DifferentialDeserialization bool
+	// DiffCacheSize bounds the differential cache (default 256 messages).
+	DiffCacheSize int
+}
+
+// ServerStats counts server-side work, for experiments.
+type ServerStats struct {
+	Envelopes      int64 // SOAP envelopes processed
+	Requests       int64 // service invocations executed
+	PackedMessages int64 // envelopes that used Parallel_Method
+	Faults         int64 // whole-message faults returned
+	ItemFaults     int64 // per-item faults inside packed responses
+	DiffHits       int64 // differential-deserialization cache hits
+	DiffMisses     int64 // differential-deserialization cache misses
+	AppStage       stage.Stats
+
+	// Protocol-thread phase timings per envelope.
+	ParsePhase    metrics.Summary
+	DispatchPhase metrics.Summary
+	EncodePhase   metrics.Summary
+
+	// Operations holds per-operation execution timings, keyed
+	// "Service.operation".
+	Operations map[string]metrics.Summary
+}
+
+// Server is the SPI service host: an HTTP server whose protocol goroutines
+// parse SOAP, dispatch operation executions to the application stage, and
+// assemble responses.
+type Server struct {
+	cfg        ServerConfig
+	httpSrv    *httpx.Server
+	appPool    stage.Executor
+	controller *stage.Controller // nil unless AdaptiveAppStage
+	protSem    chan struct{}     // nil when ProtocolWorkers == 0
+	diff       *diffCache        // nil unless DifferentialDeserialization
+
+	envelopes  atomic.Int64
+	requests   atomic.Int64
+	packed     atomic.Int64
+	faults     atomic.Int64
+	itemFaults atomic.Int64
+
+	// Per-phase protocol-thread timings, for the overhead-breakdown
+	// experiment: SOAP parse, dispatch+execute, response encode.
+	phaseParse    metrics.Recorder
+	phaseDispatch metrics.Recorder
+	phaseEncode   metrics.Recorder
+
+	// Per-operation execution timings, keyed "Service.operation".
+	opMu    sync.Mutex
+	opStats map[string]*metrics.Recorder
+}
+
+// NewServer builds a server from the configuration.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Container == nil {
+		return nil, fmt.Errorf("core: ServerConfig.Container is required")
+	}
+	if cfg.AppWorkers <= 0 {
+		cfg.AppWorkers = 32
+	}
+	if cfg.AppQueue <= 0 {
+		cfg.AppQueue = 1024
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/services/"
+	}
+	if !strings.HasSuffix(cfg.PathPrefix, "/") {
+		cfg.PathPrefix += "/"
+	}
+	s := &Server{cfg: cfg}
+	if !cfg.Coupled {
+		if cfg.AdaptiveAppStage {
+			min := cfg.AppWorkersMin
+			if min <= 0 {
+				min = 2
+			}
+			pool, err := stage.NewAdaptivePool("app", min, cfg.AppWorkers, cfg.AppQueue)
+			if err != nil {
+				return nil, err
+			}
+			s.appPool = pool
+			s.controller = stage.NewController(pool)
+		} else {
+			pool, err := stage.NewPool("app", cfg.AppWorkers, cfg.AppQueue)
+			if err != nil {
+				return nil, err
+			}
+			s.appPool = pool
+		}
+	}
+	if cfg.ProtocolWorkers > 0 {
+		s.protSem = make(chan struct{}, cfg.ProtocolWorkers)
+	}
+	if cfg.DifferentialDeserialization {
+		s.diff = newDiffCache(cfg.DiffCacheSize)
+	}
+	s.httpSrv = &httpx.Server{
+		Handler:      s.handle,
+		MaxBodyBytes: cfg.MaxBodyBytes,
+	}
+	return s, nil
+}
+
+// Serve accepts connections on l until Close.
+func (s *Server) Serve(l net.Listener) error {
+	return s.httpSrv.Serve(l)
+}
+
+// Close shuts down the HTTP server and drains the application stage.
+func (s *Server) Close() error {
+	err := s.httpSrv.Close()
+	s.closePools()
+	return err
+}
+
+// Shutdown drains gracefully: in-flight exchanges finish (up to the
+// timeout), then connections close and the stages drain.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	err := s.httpSrv.Shutdown(timeout)
+	s.closePools()
+	return err
+}
+
+func (s *Server) closePools() {
+	if s.controller != nil {
+		s.controller.Stop()
+	}
+	if s.appPool != nil {
+		s.appPool.Close()
+	}
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{
+		Envelopes:      s.envelopes.Load(),
+		Requests:       s.requests.Load(),
+		PackedMessages: s.packed.Load(),
+		Faults:         s.faults.Load(),
+		ItemFaults:     s.itemFaults.Load(),
+	}
+	if s.appPool != nil {
+		st.AppStage = s.appPool.PoolStats()
+	}
+	if s.diff != nil {
+		st.DiffHits, st.DiffMisses = s.diff.stats()
+	}
+	st.ParsePhase = s.phaseParse.Snapshot()
+	st.DispatchPhase = s.phaseDispatch.Snapshot()
+	st.EncodePhase = s.phaseEncode.Snapshot()
+	s.opMu.Lock()
+	if len(s.opStats) > 0 {
+		st.Operations = make(map[string]metrics.Summary, len(s.opStats))
+		for k, r := range s.opStats {
+			st.Operations[k] = r.Snapshot()
+		}
+	}
+	s.opMu.Unlock()
+	return st
+}
+
+// recordOp accumulates one operation execution time.
+func (s *Server) recordOp(service, op string, d time.Duration) {
+	key := service + "." + op
+	s.opMu.Lock()
+	if s.opStats == nil {
+		s.opStats = make(map[string]*metrics.Recorder)
+	}
+	r := s.opStats[key]
+	if r == nil {
+		r = &metrics.Recorder{}
+		s.opStats[key] = r
+	}
+	s.opMu.Unlock()
+	r.Record(d)
+}
+
+// handle is the protocol-stage entry point: it runs on the connection's
+// goroutine (the paper's protocol-processing thread).
+func (s *Server) handle(req *httpx.Request) *httpx.Response {
+	if s.protSem != nil {
+		s.protSem <- struct{}{}
+		defer func() { <-s.protSem }()
+	}
+
+	if req.Method == "GET" {
+		return s.handleGet(req)
+	}
+	if req.Method != "POST" {
+		resp := httpx.NewResponse(405, []byte("SOAP endpoint: POST only\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	defaultService, ok := s.serviceFromPath(req.Target)
+	if !ok {
+		resp := httpx.NewResponse(404, []byte("no such endpoint\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+
+	parseStart := time.Now()
+	var env *soap.Envelope
+	var err error
+	if s.diff != nil {
+		env, err = s.diff.decode(req.Body)
+	} else {
+		env, err = soap.Decode(bytes.NewReader(req.Body))
+	}
+	s.phaseParse.Record(time.Since(parseStart))
+	if err != nil {
+		var vm *soap.VersionMismatchError
+		if errors.As(err, &vm) {
+			// SOAP 1.1 §4.4: unrecognized envelope version.
+			return s.faultResponse(&soap.Fault{Code: soap.FaultVersionMismatch, String: vm.Error()}, soap.V11)
+		}
+		return s.faultResponse(soap.ClientFault("malformed envelope: %v", err), soap.V11)
+	}
+	s.envelopes.Add(1)
+
+	if fault := s.processHeaders(env); fault != nil {
+		return s.faultResponse(fault, env.Version)
+	}
+
+	dispatchStart := time.Now()
+	dispatcher := func(env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
+		return s.dispatch(env, defaultService)
+	}
+	if len(s.cfg.Interceptors) > 0 {
+		info := &RequestInfo{Target: req.Target, DefaultService: defaultService, Version: env.Version}
+		dispatcher = buildChain(s.cfg.Interceptors, info, dispatcher)
+	}
+	respEnv, fault := dispatcher(env)
+	s.phaseDispatch.Record(time.Since(dispatchStart))
+	if fault != nil {
+		return s.faultResponse(fault, env.Version)
+	}
+	if respEnv == nil {
+		return s.faultResponse(soap.ServerFault("interceptor returned no response"), env.Version)
+	}
+	// Reply in the version the request used.
+	respEnv.Version = env.Version
+	encodeStart := time.Now()
+	resp := s.envelopeResponse(200, respEnv)
+	s.phaseEncode.Record(time.Since(encodeStart))
+	return resp
+}
+
+// handleGet serves service descriptions: "GET <prefix><Service>?wsdl"
+// returns the service's WSDL document, and a GET of the bare prefix lists
+// the deployed services, mirroring what Axis offered on its endpoints.
+func (s *Server) handleGet(req *httpx.Request) *httpx.Response {
+	target := req.Target
+	wantWSDL := false
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		wantWSDL = strings.EqualFold(target[i+1:], "wsdl")
+		target = target[:i]
+	}
+	service, ok := s.serviceFromPath(target)
+	if !ok {
+		resp := httpx.NewResponse(404, []byte("no such endpoint\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	if service == "" {
+		var b bytes.Buffer
+		b.WriteString("Deployed services:\n")
+		for _, svc := range s.cfg.Container.Services() {
+			fmt.Fprintf(&b, "  %s%s?wsdl — %s\n", s.cfg.PathPrefix, svc.Name, svc.Doc)
+		}
+		resp := httpx.NewResponse(200, b.Bytes())
+		resp.Header.Set("Content-Type", "text/plain; charset=utf-8")
+		return resp
+	}
+	svc, found := s.cfg.Container.Service(service)
+	if !found {
+		resp := httpx.NewResponse(404, []byte("no such service\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	if !wantWSDL {
+		resp := httpx.NewResponse(200, []byte(fmt.Sprintf("%s — %s\nAppend ?wsdl for the service description.\n", svc.Name, svc.Doc)))
+		resp.Header.Set("Content-Type", "text/plain; charset=utf-8")
+		return resp
+	}
+	var b bytes.Buffer
+	if err := wsdl.Describe(svc, s.cfg.PathPrefix+svc.Name).WriteDocument(&b); err != nil {
+		resp := httpx.NewResponse(500, []byte("wsdl generation failed\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	resp := httpx.NewResponse(200, b.Bytes())
+	resp.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	return resp
+}
+
+// serviceFromPath extracts the service name from the request target.
+// "/services/Echo" -> "Echo"; the bare prefix ("/services" or "/services/")
+// is the multi-service pack endpoint and yields an empty default service.
+func (s *Server) serviceFromPath(target string) (string, bool) {
+	trimmed := strings.TrimSuffix(s.cfg.PathPrefix, "/")
+	if target == trimmed || target == s.cfg.PathPrefix {
+		return "", true
+	}
+	if !strings.HasPrefix(target, s.cfg.PathPrefix) {
+		return "", false
+	}
+	name := strings.TrimPrefix(target, s.cfg.PathPrefix)
+	if name == "" || strings.Contains(name, "/") {
+		return "", false
+	}
+	return name, true
+}
+
+// processHeaders runs header processors and enforces mustUnderstand: a
+// mustUnderstand block nobody recognises is a MustUnderstand fault, per
+// SOAP 1.1 §4.2.3.
+func (s *Server) processHeaders(env *soap.Envelope) *soap.Fault {
+	var bodyBytes []byte
+	if len(s.cfg.HeaderProcessors) > 0 {
+		bodyBytes = canonicalBody(env)
+	}
+	understood := make(map[*xmldom.Element]bool)
+	for _, h := range env.Header {
+		for _, p := range s.cfg.HeaderProcessors {
+			ns, local := p.HeaderName()
+			if h.Is(ns, local) {
+				if err := p.ProcessHeader(h, bodyBytes); err != nil {
+					return soap.ClientFault("header %s: %v", h.Name.Local, err)
+				}
+				understood[h] = true
+			}
+		}
+	}
+	for _, h := range env.MustUnderstandHeaders() {
+		if !understood[h] {
+			return &soap.Fault{
+				Code:   soap.FaultMustUnderstand,
+				String: fmt.Sprintf("header {%s}%s not understood", h.Namespace(), h.Name.Local),
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalBody serializes the body entries compactly — the byte string
+// header signatures cover. Entries are re-homed into a synthetic envelope
+// first so both sides serialize them under identical namespace context
+// regardless of how the surrounding document was spelled; body entries are
+// required to carry their own namespace declarations (ours always do).
+func canonicalBody(env *soap.Envelope) []byte {
+	canon := soap.New()
+	canon.Body = env.Body
+	canon.Element() // reparents the entries under the standard declarations
+	var buf bytes.Buffer
+	for _, e := range env.Body {
+		_ = e.Clone().Serialize(&buf)
+	}
+	return buf.Bytes()
+}
+
+// dispatch interprets the body and executes the request(s). This is the
+// server-side dispatcher of §3.5 plus the assembler of §3.4.
+func (s *Server) dispatch(env *soap.Envelope, defaultService string) (*soap.Envelope, *soap.Fault) {
+	if len(env.Body) != 1 {
+		return nil, soap.ClientFault("expected exactly one body entry, got %d", len(env.Body))
+	}
+	entry := env.Body[0]
+
+	ctx := &registry.Context{RequestHeaders: env.Header}
+
+	if isPackedRequest(entry) {
+		s.packed.Add(1)
+		return s.dispatchPacked(entry, ctx, defaultService)
+	}
+	if isPlanBody(entry) {
+		return s.dispatchPlan(entry, ctx, defaultService)
+	}
+	return s.dispatchSingle(entry, ctx, defaultService)
+}
+
+// dispatchSingle executes a traditional one-request envelope.
+func (s *Server) dispatchSingle(entry *xmldom.Element, ctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+	service := defaultService
+	if service == "" {
+		// Pack endpoint used for a plain request: resolve by namespace.
+		if svc, ok := s.cfg.Container.ServiceByNamespace(entry.Namespace()); ok {
+			service = svc.Name
+		}
+	}
+	req, fault := decodeRequestElement(entry, service, 0)
+	if fault != nil {
+		return nil, fault
+	}
+	var res *rpcResult
+	if s.cfg.Coupled || s.appPool == nil {
+		// Traditional coupled architecture: execute on the protocol thread.
+		res = s.execute(req, ctx)
+	} else {
+		// Staged architecture: even a single request runs on the
+		// application stage; the protocol thread sleeps until it is done.
+		var barrier stage.Barrier
+		if err := barrier.Go(s.appPool, func() { res = s.execute(req, ctx) }); err != nil {
+			return nil, soap.ServerFault("application stage unavailable: %v", err)
+		}
+		barrier.Wait()
+	}
+	if res.fault != nil {
+		return nil, res.fault
+	}
+	ns := s.namespaceOf(req.service)
+	respEl, err := encodeResponseElement(ns, req.op, res.results)
+	if err != nil {
+		return nil, soap.ServerFault("encoding response: %v", err)
+	}
+	out := soap.New()
+	out.Header = ctx.ResponseHeaders()
+	out.AddBody(respEl)
+	return out, nil
+}
+
+// dispatchPacked fans a Parallel_Method message out to the application
+// stage and assembles the packed response. The protocol goroutine sleeps in
+// Barrier.Wait until the last worker finishes — the sleep/wake handoff of
+// §3.3.
+func (s *Server) dispatchPacked(pm *xmldom.Element, ctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+	entries := pm.ChildElements()
+	if len(entries) == 0 {
+		return nil, soap.ClientFault("%s has no requests", ElemParallelMethod)
+	}
+
+	results := make([]*rpcResult, len(entries))
+	var barrier stage.Barrier
+	for i, el := range entries {
+		req, fault := decodeRequestElement(el, defaultService, i)
+		if fault != nil {
+			results[i] = &rpcResult{id: i, fault: fault}
+			continue
+		}
+		idx := i
+		run := func() {
+			results[idx] = s.execute(req, ctx)
+		}
+		if s.cfg.Coupled || s.appPool == nil {
+			// Traditional architecture: execute serially on this thread.
+			run()
+			continue
+		}
+		if err := barrier.Go(s.appPool, run); err != nil {
+			results[i] = &rpcResult{id: req.id, service: req.service, op: req.op,
+				fault: soap.ServerFault("application stage unavailable: %v", err)}
+		}
+	}
+	barrier.Wait()
+
+	for _, r := range results {
+		if r.fault != nil {
+			s.itemFaults.Add(1)
+		}
+	}
+	respEl, err := buildPackedResponse(results, s.namespaceOf)
+	if err != nil {
+		return nil, soap.ServerFault("assembling packed response: %v", err)
+	}
+	out := soap.New()
+	out.Header = ctx.ResponseHeaders()
+	out.AddBody(respEl)
+	return out, nil
+}
+
+// execute resolves and invokes one operation. In staged mode it is called
+// on an application-stage worker; in coupled mode on the protocol thread.
+func (s *Server) execute(req *rpcRequest, ctx *registry.Context) *rpcResult {
+	res := &rpcResult{id: req.id, service: req.service, op: req.op}
+	op, fault := s.cfg.Container.Lookup(req.service, req.op)
+	if fault != nil {
+		res.fault = fault
+		return res
+	}
+	s.requests.Add(1)
+	invCtx := &registry.Context{
+		Service:        req.service,
+		Operation:      req.op,
+		RequestHeaders: ctx.RequestHeaders,
+	}
+	execStart := time.Now()
+	results, fault := registry.Invoke(op, invCtx, req.params)
+	s.recordOp(req.service, req.op, time.Since(execStart))
+	if fault != nil {
+		res.fault = fault
+		return res
+	}
+	res.results = results
+	for _, h := range invCtx.ResponseHeaders() {
+		ctx.AddResponseHeader(h)
+	}
+	return res
+}
+
+// namespaceOf returns the namespace of a deployed service, or the pack
+// namespace for unknown services (only reachable for faulted entries,
+// which do not use it).
+func (s *Server) namespaceOf(service string) string {
+	if svc, ok := s.cfg.Container.Service(service); ok {
+		return svc.Namespace
+	}
+	return NSPack
+}
+
+// faultResponse wraps a fault in an envelope with HTTP 500, per the SOAP
+// HTTP binding, in the requested envelope version.
+func (s *Server) faultResponse(f *soap.Fault, v soap.Version) *httpx.Response {
+	s.faults.Add(1)
+	return s.envelopeResponse(500, f.EnvelopeFor(v))
+}
+
+func (s *Server) envelopeResponse(status int, env *soap.Envelope) *httpx.Response {
+	var buf bytes.Buffer
+	if err := env.Encode(&buf); err != nil {
+		resp := httpx.NewResponse(500, []byte("response encoding failed\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	resp := httpx.NewResponse(status, buf.Bytes())
+	resp.Header.Set("Content-Type", env.Version.ContentType())
+	return resp
+}

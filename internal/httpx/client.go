@@ -1,0 +1,156 @@
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Dialer opens a new connection to the server. It abstracts over real TCP
+// and the simulated link of package netsim.
+type Dialer func() (net.Conn, error)
+
+// Client issues HTTP requests over connections produced by Dial.
+//
+// Connection reuse is the experimental variable in the paper's baselines, so
+// it is explicit here: with KeepAlive false every request dials a fresh
+// connection and sends "Connection: close" (the behaviour of the paper's
+// per-message SOAP clients); with KeepAlive true idle connections are pooled
+// and reused.
+type Client struct {
+	// Dial is required.
+	Dial Dialer
+	// KeepAlive selects connection reuse.
+	KeepAlive bool
+	// MaxIdle caps the number of pooled idle connections (default 16).
+	MaxIdle int
+	// Timeout bounds one full request-response exchange; zero means none.
+	Timeout time.Duration
+	// MaxBodyBytes caps response bodies; zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+
+	mu     sync.Mutex
+	idle   []*persistConn
+	closed bool
+}
+
+type persistConn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+// errClientClosed is returned by Do after Close.
+var errClientClosed = errors.New("httpx: client closed")
+
+// Do sends the request and returns the response. It retries once on a
+// stale pooled connection (the server may have closed it between requests).
+func (c *Client) Do(req *Request) (*Response, error) {
+	if c.Dial == nil {
+		return nil, errors.New("httpx: client has no Dial")
+	}
+	reused := false
+	pc, err := c.getConn(&reused)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(pc, req)
+	if err != nil && reused {
+		// Stale keep-alive connection: retry once on a fresh one.
+		pc.conn.Close()
+		reused = false
+		pc, err = c.getConn(&reused)
+		if err != nil {
+			return nil, err
+		}
+		resp, err = c.roundTrip(pc, req)
+	}
+	if err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+
+	if c.KeepAlive && !wantsClose(resp.Proto, &resp.Header) {
+		c.putConn(pc)
+	} else {
+		pc.conn.Close()
+	}
+	return resp, nil
+}
+
+func (c *Client) roundTrip(pc *persistConn, req *Request) (*Response, error) {
+	if c.Timeout > 0 {
+		_ = pc.conn.SetDeadline(time.Now().Add(c.Timeout))
+	}
+	if err := WriteRequest(pc.conn, req, !c.KeepAlive); err != nil {
+		return nil, fmt.Errorf("httpx: write request: %w", err)
+	}
+	resp, err := ReadResponse(pc.br, c.MaxBodyBytes)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: read response: %w", err)
+	}
+	return resp, nil
+}
+
+func (c *Client) getConn(reused *bool) (*persistConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if c.KeepAlive && len(c.idle) > 0 {
+		pc := c.idle[len(c.idle)-1]
+		c.idle = c.idle[:len(c.idle)-1]
+		c.mu.Unlock()
+		*reused = true
+		return pc, nil
+	}
+	c.mu.Unlock()
+	conn, err := c.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("httpx: dial: %w", err)
+	}
+	return &persistConn{conn: conn, br: bufio.NewReaderSize(conn, 16<<10)}, nil
+}
+
+func (c *Client) putConn(pc *persistConn) {
+	maxIdle := c.MaxIdle
+	if maxIdle <= 0 {
+		maxIdle = 16
+	}
+	_ = pc.conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= maxIdle {
+		pc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, pc)
+}
+
+// Close drops all pooled connections; in-flight exchanges are unaffected.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, pc := range c.idle {
+		pc.conn.Close()
+	}
+	c.idle = nil
+}
+
+// Post is a convenience for POSTing a body with a content type, the only
+// verb SOAP uses.
+func (c *Client) Post(target, contentType string, body []byte, extra ...string) (*Response, error) {
+	if len(extra)%2 != 0 {
+		return nil, errors.New("httpx: Post extra headers must be name/value pairs")
+	}
+	req := NewRequest("POST", target, body)
+	req.Header.Set("Content-Type", contentType)
+	for i := 0; i+1 < len(extra); i += 2 {
+		req.Header.Set(extra[i], extra[i+1])
+	}
+	return c.Do(req)
+}

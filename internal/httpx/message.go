@@ -1,0 +1,330 @@
+package httpx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Limits protecting the parser from hostile or broken peers.
+const (
+	// MaxHeaderBytes caps the total size of the request/status line plus
+	// all header fields.
+	MaxHeaderBytes = 64 << 10
+	// DefaultMaxBodyBytes caps message bodies unless overridden. The
+	// largest legitimate experiment message is 128 packed 100 KB payloads
+	// (~13 MB of payload plus base64/XML expansion), so 256 MB is ample.
+	DefaultMaxBodyBytes = 256 << 20
+)
+
+// Request is an HTTP request with a fully-buffered body. SOAP messages are
+// bounded documents that must be parsed in full before dispatch, so there
+// is nothing to gain from a streaming body at this layer.
+type Request struct {
+	Method string
+	// Target is the request target, e.g. "/services/Echo".
+	Target string
+	Proto  string // "HTTP/1.1" or "HTTP/1.0"
+	Header Header
+	Body   []byte
+}
+
+// NewRequest returns a request with sensible defaults for this stack.
+func NewRequest(method, target string, body []byte) *Request {
+	r := &Request{Method: method, Target: target, Proto: "HTTP/1.1", Body: body}
+	return r
+}
+
+// wantsClose reports whether the message asks for the connection to be
+// closed after the exchange.
+func wantsClose(proto string, h *Header) bool {
+	if h.hasToken("Connection", "close") {
+		return true
+	}
+	// HTTP/1.0 defaults to close unless keep-alive is requested.
+	if proto == "HTTP/1.0" && !h.hasToken("Connection", "keep-alive") {
+		return true
+	}
+	return false
+}
+
+// Response is an HTTP response with a fully-buffered body.
+type Response struct {
+	StatusCode int
+	Status     string // reason phrase; derived from StatusCode if empty
+	Proto      string
+	Header     Header
+	Body       []byte
+}
+
+// NewResponse returns a response with the given status and body.
+func NewResponse(status int, body []byte) *Response {
+	return &Response{StatusCode: status, Proto: "HTTP/1.1", Body: body}
+}
+
+// reasonPhrase maps the status codes this stack produces.
+func reasonPhrase(code int) string {
+	switch code {
+	case 100:
+		return "Continue"
+	case 200:
+		return "OK"
+	case 202:
+		return "Accepted"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 408:
+		return "Request Timeout"
+	case 411:
+		return "Length Required"
+	case 413:
+		return "Payload Too Large"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+// ProtocolError describes a malformed HTTP message.
+type ProtocolError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ProtocolError) Error() string { return "httpx: " + e.Msg }
+
+func protoErrf(format string, args ...any) error {
+	return &ProtocolError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// readLine reads one CRLF- (or LF-) terminated line, enforcing the header
+// size budget.
+func readLine(br *bufio.Reader, budget *int) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		if err == io.EOF && line == "" {
+			return "", io.EOF
+		}
+		if err == io.EOF {
+			return "", io.ErrUnexpectedEOF
+		}
+		return "", err
+	}
+	*budget -= len(line)
+	if *budget < 0 {
+		return "", protoErrf("header block exceeds %d bytes", MaxHeaderBytes)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	return line, nil
+}
+
+// readHeader parses header fields until the blank line.
+func readHeader(br *bufio.Reader, budget *int) (Header, error) {
+	var h Header
+	for {
+		line, err := readLine(br, budget)
+		if err != nil {
+			if err == io.EOF {
+				return h, io.ErrUnexpectedEOF
+			}
+			return h, err
+		}
+		if line == "" {
+			return h, nil
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return h, protoErrf("malformed header field %q", line)
+		}
+		name := line[:colon]
+		if strings.TrimSpace(name) != name {
+			return h, protoErrf("whitespace around field name %q", name)
+		}
+		h.Add(name, strings.TrimSpace(line[colon+1:]))
+	}
+}
+
+// readBody reads a message body framed by Content-Length or chunked
+// encoding. A message with neither has no body (requests) — responses
+// close-delimit instead, handled by the caller.
+func readBody(br *bufio.Reader, h *Header, maxBody int64, closeDelimited bool) ([]byte, error) {
+	if h.hasToken("Transfer-Encoding", "chunked") {
+		return readChunked(br, maxBody)
+	}
+	if cl := h.Get("Content-Length"); cl != "" {
+		n, err := strconv.ParseInt(strings.TrimSpace(cl), 10, 64)
+		if err != nil || n < 0 {
+			return nil, protoErrf("bad Content-Length %q", cl)
+		}
+		if n > maxBody {
+			return nil, protoErrf("body of %d bytes exceeds limit %d", n, maxBody)
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, protoErrf("short body: %v", err)
+		}
+		return body, nil
+	}
+	if closeDelimited {
+		body, err := io.ReadAll(io.LimitReader(br, maxBody+1))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(body)) > maxBody {
+			return nil, protoErrf("close-delimited body exceeds limit %d", maxBody)
+		}
+		return body, nil
+	}
+	return nil, nil
+}
+
+// ReadRequest parses one request from br.
+func ReadRequest(br *bufio.Reader, maxBody int64) (*Request, error) {
+	budget := MaxHeaderBytes
+	line, err := readLine(br, &budget)
+	if err != nil {
+		return nil, err // io.EOF here means a cleanly closed keep-alive conn
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, protoErrf("malformed request line %q", line)
+	}
+	method, target, proto := parts[0], parts[1], parts[2]
+	if proto != "HTTP/1.1" && proto != "HTTP/1.0" {
+		return nil, protoErrf("unsupported protocol %q", proto)
+	}
+	h, err := readHeader(br, &budget)
+	if err != nil {
+		return nil, err
+	}
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	body, err := readBody(br, &h, maxBody, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{Method: method, Target: target, Proto: proto, Header: h, Body: body}, nil
+}
+
+// ReadResponse parses one response from br.
+func ReadResponse(br *bufio.Reader, maxBody int64) (*Response, error) {
+	budget := MaxHeaderBytes
+	line, err := readLine(br, &budget)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/1.") {
+		return nil, protoErrf("malformed status line %q", line)
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil || code < 100 || code > 599 {
+		return nil, protoErrf("bad status code in %q", line)
+	}
+	status := ""
+	if len(parts) == 3 {
+		status = parts[2]
+	}
+	h, err := readHeader(br, &budget)
+	if err != nil {
+		return nil, err
+	}
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	closeDelimited := !h.Has("Content-Length") && !h.hasToken("Transfer-Encoding", "chunked")
+	body, err := readBody(br, &h, maxBody, closeDelimited)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{StatusCode: code, Status: status, Proto: parts[0], Header: h, Body: body}, nil
+}
+
+// WriteRequest serializes the request to w. It frames the body with
+// Content-Length and emits Connection: close when close is requested.
+func WriteRequest(w io.Writer, r *Request, closeConn bool) error {
+	bw := bufio.NewWriterSize(w, 8<<10)
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	fmt.Fprintf(bw, "%s %s %s\r\n", r.Method, r.Target, proto)
+	h := r.Header.Clone()
+	h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	if closeConn {
+		h.Set("Connection", "close")
+	}
+	h.Each(func(name, value string) {
+		fmt.Fprintf(bw, "%s: %s\r\n", name, value)
+	})
+	bw.WriteString("\r\n")
+	bw.Write(r.Body)
+	return bw.Flush()
+}
+
+// WriteResponse serializes the response to w with Content-Length framing.
+func WriteResponse(w io.Writer, r *Response, closeConn bool) error {
+	return writeResponseFramed(w, r, closeConn, 0)
+}
+
+// WriteResponseChunked serializes the response with chunked
+// transfer-encoding, emitting the body in chunkSize pieces. Chunking lets
+// the peer start consuming a large response before it is fully on the
+// wire — the "message chunking and streaming" optimization of Chiu et
+// al. (the paper's reference [2]).
+func WriteResponseChunked(w io.Writer, r *Response, closeConn bool, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = 8 << 10
+	}
+	return writeResponseFramed(w, r, closeConn, chunkSize)
+}
+
+// writeResponseFramed writes with Content-Length framing when chunkSize
+// is 0, chunked framing otherwise.
+func writeResponseFramed(w io.Writer, r *Response, closeConn bool, chunkSize int) error {
+	bw := bufio.NewWriterSize(w, 8<<10)
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	status := r.Status
+	if status == "" {
+		status = reasonPhrase(r.StatusCode)
+	}
+	fmt.Fprintf(bw, "%s %d %s\r\n", proto, r.StatusCode, status)
+	h := r.Header.Clone()
+	if chunkSize > 0 {
+		h.Del("Content-Length")
+		h.Set("Transfer-Encoding", "chunked")
+	} else {
+		h.Set("Content-Length", strconv.Itoa(len(r.Body)))
+	}
+	if closeConn {
+		h.Set("Connection", "close")
+	}
+	h.Each(func(name, value string) {
+		fmt.Fprintf(bw, "%s: %s\r\n", name, value)
+	})
+	bw.WriteString("\r\n")
+	if chunkSize > 0 {
+		if err := writeChunked(bw, r.Body, chunkSize); err != nil {
+			return err
+		}
+	} else {
+		bw.Write(r.Body)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,238 @@
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one request and returns the response to send. Handlers
+// run on the connection's protocol goroutine — the paper's "protocol
+// processing thread" — so a handler that fans work out to other goroutines
+// (as the SPI server does) blocks here until the response is assembled,
+// exactly mirroring the sleep/wake protocol-thread behaviour of §3.3.
+type Handler func(req *Request) *Response
+
+// Server serves HTTP/1.1 connections from a listener.
+type Server struct {
+	// Handler is required.
+	Handler Handler
+	// ReadTimeout bounds reading one full request; zero means no timeout.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one full response; zero means no timeout.
+	WriteTimeout time.Duration
+	// MaxBodyBytes caps request bodies; zero means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// DisableKeepAlive forces Connection: close on every response.
+	DisableKeepAlive bool
+	// ChunkedThreshold, when > 0, sends responses with bodies at least
+	// this large using chunked transfer-encoding instead of
+	// Content-Length, in 8 KiB chunks (streaming-shaped traffic, after
+	// Chiu et al. [2]).
+	ChunkedThreshold int
+	// AccessLog, if set, observes every completed exchange.
+	AccessLog func(remote net.Addr, req *Request, status int, elapsed time.Duration)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	active   int // exchanges currently being handled
+	idleCond *sync.Cond
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("httpx: server closed")
+
+// Serve accepts connections until the listener fails or Close is called.
+func (s *Server) Serve(l net.Listener) error {
+	if s.Handler == nil {
+		return errors.New("httpx: Serve with nil Handler")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listener = l
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed || s.draining
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Shutdown drains gracefully: it stops the listener, lets in-flight
+// exchanges finish (up to the timeout), then closes remaining connections.
+// Idle keep-alive connections are closed immediately.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	l := s.listener
+	if s.idleCond == nil {
+		s.idleCond = sync.NewCond(&s.mu)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		s.mu.Lock()
+		if s.idleCond != nil {
+			s.idleCond.Broadcast()
+		}
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	s.mu.Lock()
+	for s.active > 0 && time.Now().Before(deadline) {
+		s.idleCond.Wait()
+	}
+	s.mu.Unlock()
+	return s.Close()
+}
+
+// Close stops the listener, closes all active connections and waits for
+// connection goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+		if errors.Is(err, net.ErrClosed) {
+			// Shutdown already closed the listener.
+			err = nil
+		}
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) removeConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveConn runs the read-dispatch-write loop for one connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.removeConn(conn)
+	defer conn.Close()
+
+	br := bufio.NewReaderSize(conn, 16<<10)
+	for {
+		if s.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
+		req, err := ReadRequest(br, s.MaxBodyBytes)
+		if err != nil {
+			if err == io.EOF {
+				return // peer closed between requests: normal keep-alive end
+			}
+			var pe *ProtocolError
+			if errors.As(err, &pe) {
+				resp := NewResponse(400, []byte(pe.Msg+"\n"))
+				resp.Header.Set("Content-Type", "text/plain")
+				_ = WriteResponse(conn, resp, true)
+			}
+			return
+		}
+
+		start := time.Now()
+		s.mu.Lock()
+		s.active++
+		s.mu.Unlock()
+
+		resp := s.callHandler(req)
+		if resp == nil {
+			resp = NewResponse(500, []byte("nil response\n"))
+		}
+
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		closeAfter := s.DisableKeepAlive || draining || wantsClose(req.Proto, &req.Header)
+		if s.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
+		var werr error
+		if s.ChunkedThreshold > 0 && len(resp.Body) >= s.ChunkedThreshold {
+			werr = WriteResponseChunked(conn, resp, closeAfter, 0)
+		} else {
+			werr = WriteResponse(conn, resp, closeAfter)
+		}
+
+		s.mu.Lock()
+		s.active--
+		if s.idleCond != nil {
+			s.idleCond.Broadcast()
+		}
+		s.mu.Unlock()
+		if s.AccessLog != nil {
+			s.AccessLog(conn.RemoteAddr(), req, resp.StatusCode, time.Since(start))
+		}
+		if werr != nil || closeAfter {
+			return
+		}
+	}
+}
+
+// callHandler invokes the handler, converting a panic into a 500 so one bad
+// request cannot take the connection goroutine (and with it the server) down.
+func (s *Server) callHandler(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = NewResponse(500, []byte(fmt.Sprintf("handler panic: %v\n", r)))
+			resp.Header.Set("Content-Type", "text/plain")
+		}
+	}()
+	return s.Handler(req)
+}

@@ -1,0 +1,112 @@
+// Package metrics provides the latency bookkeeping the experiment harness
+// uses: duration recorders with summary statistics, matching the
+// measurements the paper reports (run time in milliseconds per
+// configuration, averaged over repeated runs).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates duration samples. Safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its wall-clock duration.
+func (r *Recorder) Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	r.Record(d)
+	return d
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Summary is a statistical digest of the recorded samples.
+type Summary struct {
+	Count int
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot computes the summary of the samples recorded so far.
+func (r *Recorder) Snapshot() Summary {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	return Summarize(samples)
+}
+
+// Summarize computes a Summary over a sample set.
+func Summarize(samples []time.Duration) Summary {
+	s := Summary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, d := range sorted {
+		s.Total += d
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.Mean = s.Total / time.Duration(len(sorted))
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile returns the p-quantile of an ascending sample set using the
+// nearest-rank method.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Millis renders a duration as fractional milliseconds, the unit of the
+// paper's figures.
+func Millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// String formats the summary compactly for experiment logs.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("n=%d mean=%.3fms min=%.3fms p50=%.3fms p90=%.3fms max=%.3fms",
+		s.Count, Millis(s.Mean), Millis(s.Min), Millis(s.P50), Millis(s.P90), Millis(s.Max))
+}

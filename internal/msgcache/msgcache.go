@@ -1,0 +1,237 @@
+// Package msgcache implements the client-side message-caching
+// optimizations the paper surveys in §2.2 and positions itself against:
+//
+//   - Devaram & Andresen, "SOAP Optimization via Parameterized Client-Side
+//     Caching" (PDCS 2003) — reference [1]: cache a serialized request
+//     message and only substitute the parameter values on subsequent
+//     sends;
+//   - Abu-Ghazaleh, Lewis & Govindaraju, "Differential Serialization for
+//     Optimized SOAP Performance" (HPDC-13) — reference [3]: bypass the
+//     serialization step for messages similar to previously-sent ones.
+//
+// The paper argues these techniques are orthogonal to SPI — they cut
+// per-message CPU cost while SPI cuts the number of messages — and the
+// experiment harness uses this package to measure exactly that: template
+// caching accelerates serialization dramatically yet leaves the
+// per-message network overhead untouched, so packing still dominates for
+// many small requests.
+//
+// A Template is the serialized request envelope split at the parameter
+// value positions. Rendering a call with new values is a byte splice — no
+// DOM construction, no tree walking, no tag writing.
+package msgcache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// placeholder is spliced into the template where parameter values go. It
+// contains characters that escape differently in text and attributes, so
+// it can never collide with a real escaped value.
+const placeholder = "\x00spi-param\x00"
+
+// Key identifies one template: the operation plus the parameter shape.
+// Two calls share a template exactly when they target the same operation
+// with the same parameter names and scalar types in the same order —
+// Devaram's "parameterized" condition.
+type Key struct {
+	Service string
+	Op      string
+	Shape   string
+}
+
+// ShapeOf computes the parameter-shape component of a key. Values outside
+// the scalar set (arrays, structs, nil) make the call uncacheable because
+// their serialized form is not a single splice point. Integers split into
+// two shape classes because the wire type (xsd:int vs xsd:long) depends on
+// the value's range, and the template bakes the xsi:type in.
+func ShapeOf(params []soapenc.Field) (string, bool) {
+	var b strings.Builder
+	for _, p := range params {
+		var t string
+		switch v := p.Value.(type) {
+		case string:
+			t = "s"
+		case int64:
+			t = intShape(v)
+		case int:
+			t = intShape(int64(v))
+		case int32:
+			t = "i32"
+		case float64:
+			t = "f"
+		case bool:
+			t = "b"
+		default:
+			return "", false
+		}
+		b.WriteString(p.Name)
+		b.WriteByte(':')
+		b.WriteString(t)
+		b.WriteByte(';')
+	}
+	return b.String(), true
+}
+
+func intShape(n int64) string {
+	if n >= math.MinInt32 && n <= math.MaxInt32 {
+		return "i32"
+	}
+	return "i64"
+}
+
+// Template is a pre-serialized request envelope with holes at the
+// parameter value positions.
+type Template struct {
+	segments [][]byte // len(params)+1 segments around the holes
+}
+
+// Render splices the parameter values into the template. Values are
+// escaped for text content exactly as the full serializer would.
+func (t *Template) Render(params []soapenc.Field) ([]byte, error) {
+	if len(params) != len(t.segments)-1 {
+		return nil, fmt.Errorf("msgcache: template has %d holes, got %d params",
+			len(t.segments)-1, len(params))
+	}
+	size := 0
+	for _, s := range t.segments {
+		size += len(s)
+	}
+	out := make([]byte, 0, size+len(params)*16)
+	for i, seg := range t.segments {
+		out = append(out, seg...)
+		if i < len(params) {
+			text, err := scalarText(params[i].Value)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xmltext.EscapeText(text)...)
+		}
+	}
+	return out, nil
+}
+
+// scalarText renders a scalar value exactly the way soapenc does, by
+// encoding into a scratch element and extracting the text. Going through
+// soapenc keeps the two formats locked together.
+func scalarText(v soapenc.Value) (string, error) {
+	scratch := xmldom.NewElement(xmltext.Name{Local: "scratch"})
+	enc, err := soapenc.Encode(scratch, "v", v)
+	if err != nil {
+		return "", err
+	}
+	return enc.Text(), nil
+}
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Uncached  int64 // calls whose shape is not cacheable
+	Templates int
+}
+
+// Cache holds templates keyed by operation and parameter shape. Safe for
+// concurrent use.
+type Cache struct {
+	mu        sync.RWMutex
+	templates map[Key]*Template
+	hits      int64
+	misses    int64
+	uncached  int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{templates: make(map[Key]*Template)}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Uncached: c.uncached, Templates: len(c.templates)}
+}
+
+// Render produces the serialized request envelope for a call, using a
+// cached template when one exists. ok reports whether the call was
+// cacheable at all; when ok is false the caller must serialize normally.
+func (c *Cache) Render(service, namespace, op string, params []soapenc.Field) (doc []byte, ok bool, err error) {
+	shape, cacheable := ShapeOf(params)
+	if !cacheable {
+		c.mu.Lock()
+		c.uncached++
+		c.mu.Unlock()
+		return nil, false, nil
+	}
+	key := Key{Service: service, Op: op, Shape: shape}
+	c.mu.RLock()
+	tmpl := c.templates[key]
+	c.mu.RUnlock()
+	if tmpl == nil {
+		tmpl, err = buildTemplate(namespace, op, params)
+		if err != nil {
+			return nil, false, err
+		}
+		c.mu.Lock()
+		c.templates[key] = tmpl
+		c.misses++
+		c.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+	}
+	out, err := tmpl.Render(params)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// buildTemplate serializes the envelope once with placeholder values and
+// splits it at the placeholders.
+func buildTemplate(namespace, op string, params []soapenc.Field) (*Template, error) {
+	// Build the request with placeholder values of the same types, so the
+	// xsi:type annotations in the template are correct.
+	marked := make([]soapenc.Field, len(params))
+	for i, p := range params {
+		marked[i] = soapenc.F(p.Name, p.Value)
+	}
+	env := soap.New()
+	el := xmldom.NewElement(xmltext.Name{Prefix: "m", Local: op})
+	el.DeclareNamespace("m", namespace)
+	for _, p := range marked {
+		child, err := soapenc.Encode(el, p.Name, p.Value)
+		if err != nil {
+			return nil, err
+		}
+		child.SetText(placeholder)
+	}
+	env.AddBody(el)
+	var buf bytes.Buffer
+	if err := env.Encode(&buf); err != nil {
+		return nil, err
+	}
+	raw := buf.Bytes()
+
+	escaped := []byte(xmltext.EscapeText(placeholder))
+	parts := bytes.Split(raw, escaped)
+	if len(parts) != len(params)+1 {
+		return nil, fmt.Errorf("msgcache: expected %d holes, found %d", len(params), len(parts)-1)
+	}
+	segments := make([][]byte, len(parts))
+	for i, p := range parts {
+		segments[i] = append([]byte(nil), p...)
+	}
+	return &Template{segments: segments}, nil
+}

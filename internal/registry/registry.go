@@ -1,0 +1,217 @@
+// Package registry implements the service container: the mapping from
+// (service, operation) to executable handlers.
+//
+// It plays the role of the Axis deployment registry in the paper's stack.
+// Crucially for the paper's design, handlers are plain functions over typed
+// parameters with no knowledge of transport, packing or threading — "our
+// technique requires no change to services code": the same handler is
+// invoked whether its request arrived alone in an envelope or as one entry
+// of a packed Parallel_Method message, on whatever worker thread the
+// dispatcher chose.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+)
+
+// Context carries per-invocation information into a handler.
+type Context struct {
+	// Service and Operation identify the invocation target.
+	Service   string
+	Operation string
+	// RequestHeaders exposes the SOAP header blocks of the incoming
+	// envelope (shared across all requests packed into that envelope).
+	RequestHeaders []*xmldom.Element
+
+	mu              sync.Mutex
+	responseHeaders []*xmldom.Element
+}
+
+// AddResponseHeader schedules a header block to be attached to the response
+// envelope. Safe for concurrent use (packed requests share an envelope).
+func (c *Context) AddResponseHeader(block *xmldom.Element) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.responseHeaders = append(c.responseHeaders, block)
+}
+
+// ResponseHeaders returns the accumulated response header blocks.
+func (c *Context) ResponseHeaders() []*xmldom.Element {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*xmldom.Element(nil), c.responseHeaders...)
+}
+
+// Handler executes one service operation: named parameters in, named
+// results out. Returning a *soap.Fault propagates it verbatim; any other
+// error becomes a Server fault.
+type Handler func(ctx *Context, params []soapenc.Field) ([]soapenc.Field, error)
+
+// Operation is one registered operation of a service.
+type Operation struct {
+	Service string
+	Name    string
+	Doc     string
+	Handler Handler
+}
+
+// Service is a named collection of operations sharing a namespace.
+type Service struct {
+	Name      string
+	Namespace string
+	Doc       string
+
+	mu  sync.RWMutex
+	ops map[string]*Operation
+}
+
+// Register adds an operation to the service.
+func (s *Service) Register(name string, h Handler, doc string) error {
+	if name == "" {
+		return fmt.Errorf("registry: empty operation name on service %q", s.Name)
+	}
+	if h == nil {
+		return fmt.Errorf("registry: nil handler for %s.%s", s.Name, name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ops[name]; dup {
+		return fmt.Errorf("registry: operation %s.%s already registered", s.Name, name)
+	}
+	s.ops[name] = &Operation{Service: s.Name, Name: name, Doc: doc, Handler: h}
+	return nil
+}
+
+// MustRegister is Register that panics on error, for static wiring.
+func (s *Service) MustRegister(name string, h Handler, doc string) {
+	if err := s.Register(name, h, doc); err != nil {
+		panic(err)
+	}
+}
+
+// Operation looks up one operation by name.
+func (s *Service) Operation(name string) (*Operation, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	op, ok := s.ops[name]
+	return op, ok
+}
+
+// Operations returns the operations sorted by name.
+func (s *Service) Operations() []*Operation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Operation, 0, len(s.ops))
+	for _, op := range s.ops {
+		out = append(out, op)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Container holds every deployed service.
+type Container struct {
+	mu       sync.RWMutex
+	services map[string]*Service
+}
+
+// NewContainer returns an empty container.
+func NewContainer() *Container {
+	return &Container{services: make(map[string]*Service)}
+}
+
+// AddService deploys a new named service. The namespace is the XML
+// namespace its request/response elements live in.
+func (c *Container) AddService(name, namespace, doc string) (*Service, error) {
+	if name == "" {
+		return nil, fmt.Errorf("registry: empty service name")
+	}
+	if namespace == "" {
+		return nil, fmt.Errorf("registry: service %q needs a namespace", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.services[name]; dup {
+		return nil, fmt.Errorf("registry: service %q already deployed", name)
+	}
+	s := &Service{Name: name, Namespace: namespace, Doc: doc, ops: make(map[string]*Operation)}
+	c.services[name] = s
+	return s, nil
+}
+
+// MustAddService is AddService that panics on error.
+func (c *Container) MustAddService(name, namespace, doc string) *Service {
+	s, err := c.AddService(name, namespace, doc)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Service looks up a deployed service by name.
+func (c *Container) Service(name string) (*Service, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.services[name]
+	return s, ok
+}
+
+// ServiceByNamespace looks up a deployed service by its namespace URI.
+func (c *Container) ServiceByNamespace(ns string) (*Service, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, s := range c.services {
+		if s.Namespace == ns {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Services returns all deployed services sorted by name.
+func (c *Container) Services() []*Service {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Service, 0, len(c.services))
+	for _, s := range c.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup resolves (service, operation) to a handler. A missing service or
+// operation is a Client fault, since the requester named a bad target.
+func (c *Container) Lookup(service, operation string) (*Operation, *soap.Fault) {
+	s, ok := c.Service(service)
+	if !ok {
+		return nil, soap.ClientFault("no such service %q", service)
+	}
+	op, ok := s.Operation(operation)
+	if !ok {
+		return nil, soap.ClientFault("service %q has no operation %q", service, operation)
+	}
+	return op, nil
+}
+
+// Invoke runs an operation with panic isolation: a panicking handler yields
+// a Server fault instead of tearing down the worker.
+func Invoke(op *Operation, ctx *Context, params []soapenc.Field) (results []soapenc.Field, fault *soap.Fault) {
+	defer func() {
+		if r := recover(); r != nil {
+			results = nil
+			fault = soap.ServerFault("operation %s.%s panicked: %v", op.Service, op.Name, r)
+		}
+	}()
+	out, err := op.Handler(ctx, params)
+	if err != nil {
+		return nil, soap.AsFault(err)
+	}
+	return out, nil
+}

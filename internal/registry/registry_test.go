@@ -1,0 +1,174 @@
+package registry
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+func echoHandler(ctx *Context, params []soapenc.Field) ([]soapenc.Field, error) {
+	return params, nil
+}
+
+func TestAddServiceAndLookup(t *testing.T) {
+	c := NewContainer()
+	s, err := c.AddService("Echo", "urn:spi:echo", "echo service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("echo", echoHandler, "returns its input"); err != nil {
+		t.Fatal(err)
+	}
+	op, fault := c.Lookup("Echo", "echo")
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if op.Service != "Echo" || op.Name != "echo" {
+		t.Errorf("op = %+v", op)
+	}
+}
+
+func TestLookupFaults(t *testing.T) {
+	c := NewContainer()
+	s := c.MustAddService("Echo", "urn:spi:echo", "")
+	s.MustRegister("echo", echoHandler, "")
+
+	_, fault := c.Lookup("Nope", "echo")
+	if fault == nil || fault.Code != soap.FaultClient {
+		t.Errorf("missing service fault = %v", fault)
+	}
+	_, fault = c.Lookup("Echo", "nope")
+	if fault == nil || fault.Code != soap.FaultClient || !strings.Contains(fault.String, "nope") {
+		t.Errorf("missing op fault = %v", fault)
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	c := NewContainer()
+	if _, err := c.AddService("S", "urn:s", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddService("S", "urn:s2", ""); err == nil {
+		t.Error("duplicate service accepted")
+	}
+	s, _ := c.Service("S")
+	if err := s.Register("op", echoHandler, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("op", echoHandler, ""); err == nil {
+		t.Error("duplicate operation accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := NewContainer()
+	if _, err := c.AddService("", "urn:x", ""); err == nil {
+		t.Error("empty service name accepted")
+	}
+	if _, err := c.AddService("X", "", ""); err == nil {
+		t.Error("empty namespace accepted")
+	}
+	s := c.MustAddService("X", "urn:x", "")
+	if err := s.Register("", echoHandler, ""); err == nil {
+		t.Error("empty op name accepted")
+	}
+	if err := s.Register("op", nil, ""); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestServiceByNamespace(t *testing.T) {
+	c := NewContainer()
+	c.MustAddService("A", "urn:a", "")
+	c.MustAddService("B", "urn:b", "")
+	s, ok := c.ServiceByNamespace("urn:b")
+	if !ok || s.Name != "B" {
+		t.Errorf("by namespace = %v, %v", s, ok)
+	}
+	if _, ok := c.ServiceByNamespace("urn:zzz"); ok {
+		t.Error("bogus namespace matched")
+	}
+}
+
+func TestListingSorted(t *testing.T) {
+	c := NewContainer()
+	c.MustAddService("Zeta", "urn:z", "")
+	c.MustAddService("Alpha", "urn:a", "")
+	svcs := c.Services()
+	if len(svcs) != 2 || svcs[0].Name != "Alpha" || svcs[1].Name != "Zeta" {
+		t.Errorf("services = %v", svcs)
+	}
+	s := svcs[0]
+	s.MustRegister("z", echoHandler, "")
+	s.MustRegister("a", echoHandler, "")
+	ops := s.Operations()
+	if len(ops) != 2 || ops[0].Name != "a" || ops[1].Name != "z" {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestInvokeSuccess(t *testing.T) {
+	op := &Operation{Service: "S", Name: "op", Handler: echoHandler}
+	ctx := &Context{Service: "S", Operation: "op"}
+	params := []soapenc.Field{soapenc.F("x", "1")}
+	out, fault := Invoke(op, ctx, params)
+	if fault != nil {
+		t.Fatal(fault)
+	}
+	if len(out) != 1 || out[0].Name != "x" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestInvokeErrorBecomesFault(t *testing.T) {
+	op := &Operation{Service: "S", Name: "op", Handler: func(ctx *Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		return nil, errors.New("db down")
+	}}
+	_, fault := Invoke(op, &Context{}, nil)
+	if fault == nil || fault.Code != soap.FaultServer || fault.String != "db down" {
+		t.Errorf("fault = %v", fault)
+	}
+}
+
+func TestInvokeFaultPassthrough(t *testing.T) {
+	want := soap.ClientFault("bad input")
+	op := &Operation{Service: "S", Name: "op", Handler: func(ctx *Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		return nil, want
+	}}
+	_, fault := Invoke(op, &Context{}, nil)
+	if fault != want {
+		t.Errorf("fault = %v, want passthrough", fault)
+	}
+}
+
+func TestInvokePanicIsolation(t *testing.T) {
+	op := &Operation{Service: "S", Name: "op", Handler: func(ctx *Context, p []soapenc.Field) ([]soapenc.Field, error) {
+		panic("handler bug")
+	}}
+	_, fault := Invoke(op, &Context{}, nil)
+	if fault == nil || fault.Code != soap.FaultServer || !strings.Contains(fault.String, "handler bug") {
+		t.Errorf("fault = %v", fault)
+	}
+}
+
+func TestContextResponseHeadersConcurrent(t *testing.T) {
+	ctx := &Context{}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx.AddResponseHeader(xmldom.NewElement(xmltext.Name{Local: "h"}))
+		}()
+	}
+	wg.Wait()
+	if got := len(ctx.ResponseHeaders()); got != 50 {
+		t.Errorf("response headers = %d, want 50", got)
+	}
+}

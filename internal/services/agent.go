@@ -1,0 +1,247 @@
+package services
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/soapenc"
+)
+
+// ItineraryRequest is the user's vacation-package request.
+type ItineraryRequest struct {
+	From string // departure city
+	To   string // destination city (also the hotel city)
+	Date string
+	Card string // credit card number
+}
+
+// DefaultItinerary is the request used by the §4.3 experiment.
+func DefaultItinerary() ItineraryRequest {
+	return ItineraryRequest{From: "Beijing", To: "Shanghai", Date: "2006-09-26", Card: "4111-1111"}
+}
+
+// Itinerary is the outcome of a travel-agent run.
+type Itinerary struct {
+	Flight            string
+	FlightPrice       float64
+	FlightReservation int64
+	Room              string
+	RoomPrice         float64
+	RoomReservation   int64
+	AuthorizationID   string
+	Total             float64
+
+	// Invocations counts service operations executed (always 11, matching
+	// "the eleven service invocations" of §4.3).
+	Invocations int
+	// Messages counts SOAP messages sent (11 unoptimized; 7 with steps 1
+	// and 3 packed).
+	Messages int
+}
+
+// RunTravelAgent executes the travel-agent sequence of Figure 8 against a
+// deployed travel suite. With optimized true, steps 1 (three flight
+// queries) and 3 (three room queries) are packed into one SOAP message
+// each, exactly the optimization §4.3 measures; everything else is
+// identical.
+func RunTravelAgent(c *core.Client, req ItineraryRequest, optimized bool) (*Itinerary, error) {
+	it := &Itinerary{}
+
+	// Step 1: query a list of flights from each airline service.
+	flightResults := make([][]soapenc.Field, NumAirlines)
+	queryFlight := func(i int) (string, string, []soapenc.Field) {
+		return AirlineService(i), "QueryFlights", []soapenc.Field{
+			soapenc.F("from", req.From), soapenc.F("to", req.To), soapenc.F("date", req.Date),
+		}
+	}
+	if optimized {
+		b := c.NewBatch()
+		calls := make([]*core.Call, NumAirlines)
+		for i := 0; i < NumAirlines; i++ {
+			svc, op, params := queryFlight(i)
+			calls[i] = b.Add(svc, op, params...)
+		}
+		if err := b.Send(); err != nil {
+			return nil, fmt.Errorf("step 1 (packed): %w", err)
+		}
+		for i, call := range calls {
+			res, err := call.Wait()
+			if err != nil {
+				return nil, fmt.Errorf("step 1, airline %d: %w", i+1, err)
+			}
+			flightResults[i] = res
+		}
+		it.Messages++
+	} else {
+		for i := 0; i < NumAirlines; i++ {
+			svc, op, params := queryFlight(i)
+			res, err := c.Call(svc, op, params...)
+			if err != nil {
+				return nil, fmt.Errorf("step 1, airline %d: %w", i+1, err)
+			}
+			flightResults[i] = res
+			it.Messages++
+		}
+	}
+	it.Invocations += NumAirlines
+
+	// Choose the most economical flight across airlines ("without loss of
+	// generality, assume that the user chooses the most economical").
+	bestAirline := -1
+	for i, res := range flightResults {
+		flight, price, err := cheapestOffer(res, "flights", "flight")
+		if err != nil {
+			return nil, fmt.Errorf("step 1, airline %d: %w", i+1, err)
+		}
+		if bestAirline < 0 || price < it.FlightPrice {
+			bestAirline, it.Flight, it.FlightPrice = i, flight, price
+		}
+	}
+
+	// Step 2: reserve the chosen flight.
+	res, err := c.Call(AirlineService(bestAirline), "Reserve", soapenc.F("flight", it.Flight))
+	if err != nil {
+		return nil, fmt.Errorf("step 2: %w", err)
+	}
+	it.FlightReservation = firstInt(res, "reservedID")
+	it.Invocations++
+	it.Messages++
+
+	// Step 3: query a list of rooms from each hotel service.
+	roomResults := make([][]soapenc.Field, NumHotels)
+	queryRoom := func(i int) (string, string, []soapenc.Field) {
+		return HotelService(i), "QueryRooms", []soapenc.Field{
+			soapenc.F("city", req.To), soapenc.F("date", req.Date),
+		}
+	}
+	if optimized {
+		b := c.NewBatch()
+		calls := make([]*core.Call, NumHotels)
+		for i := 0; i < NumHotels; i++ {
+			svc, op, params := queryRoom(i)
+			calls[i] = b.Add(svc, op, params...)
+		}
+		if err := b.Send(); err != nil {
+			return nil, fmt.Errorf("step 3 (packed): %w", err)
+		}
+		for i, call := range calls {
+			res, err := call.Wait()
+			if err != nil {
+				return nil, fmt.Errorf("step 3, hotel %d: %w", i+1, err)
+			}
+			roomResults[i] = res
+		}
+		it.Messages++
+	} else {
+		for i := 0; i < NumHotels; i++ {
+			svc, op, params := queryRoom(i)
+			res, err := c.Call(svc, op, params...)
+			if err != nil {
+				return nil, fmt.Errorf("step 3, hotel %d: %w", i+1, err)
+			}
+			roomResults[i] = res
+			it.Messages++
+		}
+	}
+	it.Invocations += NumHotels
+
+	bestHotel := -1
+	for i, res := range roomResults {
+		room, price, err := cheapestOffer(res, "rooms", "room")
+		if err != nil {
+			return nil, fmt.Errorf("step 3, hotel %d: %w", i+1, err)
+		}
+		if bestHotel < 0 || price < it.RoomPrice {
+			bestHotel, it.Room, it.RoomPrice = i, room, price
+		}
+	}
+
+	// Step 4: reserve the chosen room.
+	res, err = c.Call(HotelService(bestHotel), "Reserve", soapenc.F("room", it.Room))
+	if err != nil {
+		return nil, fmt.Errorf("step 4: %w", err)
+	}
+	it.RoomReservation = firstInt(res, "reservedID")
+	it.Invocations++
+	it.Messages++
+
+	// Step 5: confirm payment with the credit-card service.
+	it.Total = it.FlightPrice + it.RoomPrice
+	res, err = c.Call(CreditCardService, "ConfirmPayment",
+		soapenc.F("amount", it.Total), soapenc.F("card", req.Card))
+	if err != nil {
+		return nil, fmt.Errorf("step 5: %w", err)
+	}
+	it.AuthorizationID = firstString(res, "authorizationID")
+	it.Invocations++
+	it.Messages++
+
+	// Step 6: confirm the flight reservation with the authorization id.
+	if _, err := c.Call(AirlineService(bestAirline), "Confirm",
+		soapenc.F("reservedID", it.FlightReservation),
+		soapenc.F("authorizationID", it.AuthorizationID)); err != nil {
+		return nil, fmt.Errorf("step 6: %w", err)
+	}
+	it.Invocations++
+	it.Messages++
+
+	// Step 7: confirm the room reservation with the authorization id.
+	if _, err := c.Call(HotelService(bestHotel), "Confirm",
+		soapenc.F("reservedID", it.RoomReservation),
+		soapenc.F("authorizationID", it.AuthorizationID)); err != nil {
+		return nil, fmt.Errorf("step 7: %w", err)
+	}
+	it.Invocations++
+	it.Messages++
+
+	return it, nil
+}
+
+// cheapestOffer scans a result's offer array for the lowest price.
+func cheapestOffer(res []soapenc.Field, listName, itemName string) (name string, price float64, err error) {
+	var arr soapenc.Array
+	for _, f := range res {
+		if f.Name == listName {
+			arr, _ = f.Value.(soapenc.Array)
+		}
+	}
+	if len(arr) == 0 {
+		return "", 0, fmt.Errorf("no %s in response", listName)
+	}
+	best := -1.0
+	for _, v := range arr {
+		s, ok := v.(*soapenc.Struct)
+		if !ok {
+			continue
+		}
+		p := s.GetFloat("price")
+		if best < 0 || p < best {
+			best = p
+			name = s.GetString(itemName)
+		}
+	}
+	if best < 0 {
+		return "", 0, fmt.Errorf("no priced %s in response", itemName)
+	}
+	return name, best, nil
+}
+
+func firstInt(res []soapenc.Field, name string) int64 {
+	for _, f := range res {
+		if f.Name == name {
+			n, _ := f.Value.(int64)
+			return n
+		}
+	}
+	return 0
+}
+
+func firstString(res []soapenc.Field, name string) string {
+	for _, f := range res {
+		if f.Name == name {
+			s, _ := f.Value.(string)
+			return s
+		}
+	}
+	return ""
+}

@@ -1,0 +1,95 @@
+// Package services implements the services used by the paper's evaluation:
+//
+//   - Echo — §4.1: "we use Echo services, which only return the data
+//     whatever they received" for the latency experiments of Figures 5-7;
+//   - WeatherService — the Figure 4 example (two city weather queries
+//     packed into one message);
+//   - the travel-agent suite of §3.1/§4.3 (Figure 8): three airline
+//     services, three hotel services and a credit-card service, plus the
+//     travel-agent orchestration that invokes them.
+//
+// Handlers are deliberately plain registry handlers: nothing in them knows
+// about packing, which demonstrates the paper's "requires no change to
+// services code" property.
+package services
+
+import (
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/soapenc"
+)
+
+// Options tunes deployed services.
+type Options struct {
+	// WorkTime simulates per-operation backend work (database lookups,
+	// fare computation, ...). Zero means the operation is instantaneous,
+	// as with the pure Echo latency tests.
+	WorkTime time.Duration
+}
+
+func (o Options) work() {
+	if o.WorkTime > 0 {
+		time.Sleep(o.WorkTime)
+	}
+}
+
+// DeployEcho registers the Echo service used by the Figures 5-7 latency
+// experiments.
+func DeployEcho(c *registry.Container, opt Options) error {
+	svc, err := c.AddService("Echo", "urn:spi:Echo", "returns the data whatever it received (§4.1)")
+	if err != nil {
+		return err
+	}
+	if err := svc.Register("echo", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		opt.work()
+		return params, nil
+	}, "identity over its parameters"); err != nil {
+		return err
+	}
+	return svc.Register("echoSize", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		opt.work()
+		total := int64(0)
+		for _, p := range params {
+			if s, ok := p.Value.(string); ok {
+				total += int64(len(s))
+			}
+		}
+		return []soapenc.Field{soapenc.F("size", total)}, nil
+	}, "returns only the byte count of its string parameters")
+}
+
+// DeployWeather registers the WeatherService of Figure 4.
+func DeployWeather(c *registry.Container, opt Options) error {
+	svc, err := c.AddService("WeatherService", "urn:spi:WeatherService",
+		"city weather lookups, as in the paper's Figure 4")
+	if err != nil {
+		return err
+	}
+	reports := map[string]string{
+		"Beijing":  "Sunny, 31°C",
+		"Shanghai": "Cloudy, 28°C",
+		"Tianjin":  "Light rain, 26°C",
+	}
+	return svc.Register("GetWeather", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		opt.work()
+		city := ""
+		for _, p := range params {
+			if p.Name == "CityName" {
+				city, _ = p.Value.(string)
+			}
+		}
+		// Normalize "Beijing, China" -> "Beijing".
+		for known := range reports {
+			if len(city) >= len(known) && city[:len(known)] == known {
+				city = known
+				break
+			}
+		}
+		report, ok := reports[city]
+		if !ok {
+			report = "No data for " + city
+		}
+		return []soapenc.Field{soapenc.F("GetWeatherResult", report)}, nil
+	}, "returns the weather report for a city")
+}

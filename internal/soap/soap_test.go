@@ -1,0 +1,197 @@
+package soap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+func TestEnvelopeEncodeDecode(t *testing.T) {
+	env := New()
+	hdr := xmldom.NewElement(xmltext.Name{Local: "TraceID"})
+	hdr.DeclareNamespace("", "urn:trace")
+	hdr.SetText("abc-123")
+	env.AddHeader(hdr)
+
+	op := xmldom.NewElement(xmltext.Name{Local: "Echo"})
+	op.DeclareNamespace("", "urn:echo")
+	op.AddElement(xmltext.Name{Local: "msg"}).SetText("hello")
+	env.AddBody(op)
+
+	var b strings.Builder
+	if err := env.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+	if !strings.Contains(doc, `<?xml version="1.0"`) {
+		t.Error("missing XML declaration")
+	}
+	if !strings.Contains(doc, PrefixEnvelope+":Envelope") {
+		t.Error("missing envelope element")
+	}
+
+	env2, err := Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env2.Header) != 1 || env2.Header[0].Text() != "abc-123" {
+		t.Errorf("header round trip = %v", env2.Header)
+	}
+	if len(env2.Body) != 1 {
+		t.Fatalf("body entries = %d", len(env2.Body))
+	}
+	got := env2.Body[0]
+	if !got.Is("urn:echo", "Echo") {
+		t.Errorf("body entry = {%s}%s", got.Namespace(), got.Name.Local)
+	}
+	if got.Child("urn:echo", "msg").Text() != "hello" {
+		t.Error("msg text lost")
+	}
+}
+
+func TestEnvelopeNoHeader(t *testing.T) {
+	env := New()
+	env.AddBody(xmldom.NewElement(xmltext.Name{Local: "Op"}))
+	var b strings.Builder
+	if err := env.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "Header") {
+		t.Error("empty Header element emitted")
+	}
+	env2, err := Decode(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2.Header != nil {
+		t.Errorf("header = %v, want nil", env2.Header)
+	}
+}
+
+func TestDecodeRejectsNonEnvelope(t *testing.T) {
+	cases := []string{
+		`<NotAnEnvelope/>`,
+		`<e:Envelope xmlns:e="urn:wrong"><e:Body/></e:Envelope>`,
+		`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"></e:Envelope>`, // no body
+		`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body/><e:Body/></e:Envelope>`,
+		`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Body/><e:Header/></e:Envelope>`,
+		`<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"><e:Bogus/><e:Body/></e:Envelope>`,
+		`not xml at all`,
+	}
+	for _, src := range cases {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := ClientFault("bad parameter %q", "x")
+	f.Actor = "urn:test-actor"
+	detail := xmldom.NewElement(xmltext.Name{Local: "info"})
+	detail.SetText("42")
+	wrap := xmldom.NewElement(xmltext.Name{Local: "detail"})
+	wrap.AddChild(detail)
+	f.Detail = wrap
+
+	var b strings.Builder
+	if err := f.Envelope().Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Decode(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := env.Fault()
+	if got == nil {
+		t.Fatal("fault not recognized")
+	}
+	if got.Code != FaultClient {
+		t.Errorf("code = %q", got.Code)
+	}
+	if got.String != `bad parameter "x"` {
+		t.Errorf("string = %q", got.String)
+	}
+	if got.Actor != "urn:test-actor" {
+		t.Errorf("actor = %q", got.Actor)
+	}
+	if got.Detail == nil || got.Detail.Child("", "info").Text() != "42" {
+		t.Errorf("detail = %v", got.Detail)
+	}
+	if !strings.Contains(got.Error(), "bad parameter") {
+		t.Errorf("Error() = %q", got.Error())
+	}
+}
+
+func TestFaultOnNonFaultBody(t *testing.T) {
+	env := New()
+	env.AddBody(xmldom.NewElement(xmltext.Name{Local: "Op"}))
+	if env.Fault() != nil {
+		t.Error("non-fault body reported as fault")
+	}
+}
+
+func TestDefaultFaultCode(t *testing.T) {
+	f := &Fault{String: "boom"}
+	el := f.Element()
+	if code := el.Child("", "faultcode").Text(); code != PrefixEnvelope+":"+FaultServer {
+		t.Errorf("default code = %q", code)
+	}
+}
+
+func TestAsFault(t *testing.T) {
+	if AsFault(nil) != nil {
+		t.Error("AsFault(nil) != nil")
+	}
+	f := ClientFault("x")
+	if AsFault(f) != f {
+		t.Error("AsFault did not pass fault through")
+	}
+	g := AsFault(errBoom{})
+	if g.Code != FaultServer || g.String != "boom" {
+		t.Errorf("AsFault(errBoom) = %+v", g)
+	}
+}
+
+type errBoom struct{}
+
+func (errBoom) Error() string { return "boom" }
+
+func TestMustUnderstandHeaders(t *testing.T) {
+	doc := `<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">
+	  <e:Header>
+	    <a xmlns="urn:a" e:mustUnderstand="1"/>
+	    <b xmlns="urn:b"/>
+	    <c xmlns="urn:c" e:mustUnderstand="0"/>
+	  </e:Header>
+	  <e:Body><Op xmlns="urn:x"/></e:Body>
+	</e:Envelope>`
+	env, err := Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := env.MustUnderstandHeaders()
+	if len(mu) != 1 || mu[0].Name.Local != "a" {
+		t.Errorf("mustUnderstand headers = %v", mu)
+	}
+}
+
+func TestFigureStyleEnvelopeShape(t *testing.T) {
+	// The serialized envelope must carry the four standard namespace
+	// declarations the paper's Figure 4 shows on the root element.
+	env := New()
+	env.AddBody(xmldom.NewElement(xmltext.Name{Local: "Op"}))
+	doc := env.Element().String()
+	for _, want := range []string{
+		`xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/"`,
+		`xmlns:SOAP-ENC="http://schemas.xmlsoap.org/soap/encoding/"`,
+		`xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"`,
+		`xmlns:xsd="http://www.w3.org/2001/XMLSchema"`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("envelope missing %s:\n%s", want, doc)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package soap
+
+// Version selects the SOAP envelope version. The paper's stack is SOAP
+// 1.1 (the only version its toolkits spoke), but SOAP 1.2 became a W3C
+// Recommendation in 2003 and a production-quality endpoint of the era
+// accepted both; this implementation does too, replying in the version of
+// the request.
+type Version int
+
+const (
+	// V11 is SOAP 1.1 (the default and the paper's wire format).
+	V11 Version = iota
+	// V12 is SOAP 1.2.
+	V12
+)
+
+// NSEnvelope12 is the SOAP 1.2 envelope namespace.
+const NSEnvelope12 = "http://www.w3.org/2003/05/soap-envelope"
+
+// Namespace returns the version's envelope namespace URI.
+func (v Version) Namespace() string {
+	if v == V12 {
+		return NSEnvelope12
+	}
+	return NSEnvelope
+}
+
+// ContentType returns the HTTP media type for the version.
+func (v Version) ContentType() string {
+	if v == V12 {
+		return "application/soap+xml; charset=utf-8"
+	}
+	return "text/xml; charset=utf-8"
+}
+
+// String names the version for logs.
+func (v Version) String() string {
+	if v == V12 {
+		return "SOAP 1.2"
+	}
+	return "SOAP 1.1"
+}
+
+// faultCode12 maps a SOAP 1.1 fault code local part onto the SOAP 1.2
+// equivalent.
+func faultCode12(code string) string {
+	switch code {
+	case FaultClient:
+		return "Sender"
+	case FaultServer:
+		return "Receiver"
+	default: // VersionMismatch and MustUnderstand keep their names.
+		return code
+	}
+}
+
+// faultCode11 is the inverse mapping.
+func faultCode11(code string) string {
+	switch code {
+	case "Sender":
+		return FaultClient
+	case "Receiver":
+		return FaultServer
+	default:
+		return code
+	}
+}

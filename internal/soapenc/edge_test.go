@@ -1,0 +1,156 @@
+package soapenc
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// Edge cases exercising the decoder's leniency and strictness boundaries,
+// beyond the round-trip property tests.
+
+func TestDecodeLenientTypes(t *testing.T) {
+	// Aliased/legacy xsd type names the era's toolkits emitted.
+	cases := []struct {
+		typ, text string
+		want      Value
+	}{
+		{"anyURI", "http://x", "http://x"},
+		{"token", "tok", "tok"},
+		{"normalizedString", "n s", "n s"},
+		{"short", "12", int64(12)},
+		{"byte", "-7", int64(-7)},
+		{"integer", "999999999999", int64(999999999999)},
+		{"unsignedInt", "4000000000", int64(4000000000)},
+		{"unsignedShort", "65535", int64(65535)},
+		{"float", "1.5", 1.5},
+		{"decimal", "2.25", 2.25},
+		{"boolean", "1", true},
+		{"boolean", "0", false},
+	}
+	for _, c := range cases {
+		doc := `<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"` +
+			` xmlns:xsd="http://www.w3.org/2001/XMLSchema" xsi:type="xsd:` + c.typ + `">` + c.text + `</p>`
+		el, err := xmldom.ParseString(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(el)
+		if err != nil {
+			t.Errorf("xsd:%s %q: %v", c.typ, c.text, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("xsd:%s %q = %#v, want %#v", c.typ, c.text, got, c.want)
+		}
+	}
+}
+
+func TestDecodeUnknownTypeAnnotationFallsBack(t *testing.T) {
+	// An xsi:type in a foreign namespace decodes structurally, like the
+	// lenient toolkits did.
+	doc := `<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"` +
+		` xmlns:v="urn:vendor" xsi:type="v:CustomThing"><a>1</a></p>`
+	el, err := xmldom.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got.(*Struct)
+	if !ok || s.GetString("a") != "1" {
+		t.Errorf("decoded = %#v", got)
+	}
+
+	// Same annotation with text content decodes as string.
+	doc2 := `<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"` +
+		` xmlns:v="urn:vendor" xsi:type="v:CustomThing">plain</p>`
+	el2, _ := xmldom.ParseString(doc2)
+	got2, err := Decode(el2)
+	if err != nil || got2 != "plain" {
+		t.Errorf("decoded = %#v, %v", got2, err)
+	}
+}
+
+func TestDecodeUnresolvablePrefixFallsBack(t *testing.T) {
+	// xsi:type with an undeclared prefix cannot be resolved; the decoder
+	// falls back to structural interpretation rather than failing.
+	doc := `<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:type="ghost:Thing">text</p>`
+	el, err := xmldom.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(el)
+	if err != nil || got != "text" {
+		t.Errorf("decoded = %#v, %v", got, err)
+	}
+}
+
+func TestDecodeXsiNilVariants(t *testing.T) {
+	for _, variant := range []string{`xsi:nil="true"`, `xsi:nil="1"`} {
+		doc := `<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" ` + variant + `>ignored</p>`
+		el, _ := xmldom.ParseString(doc)
+		got, err := Decode(el)
+		if err != nil || got != nil {
+			t.Errorf("%s decoded = %#v, %v", variant, got, err)
+		}
+	}
+	// nil="false" does not nullify.
+	doc := `<p xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xsi:nil="false">kept</p>`
+	el, _ := xmldom.ParseString(doc)
+	got, err := Decode(el)
+	if err != nil || got != "kept" {
+		t.Errorf("nil=false decoded = %#v, %v", got, err)
+	}
+}
+
+func TestEncodeNilStructPointer(t *testing.T) {
+	parent := xmldom.NewElement(xmltext.Name{Local: "P"})
+	el, err := Encode(parent, "s", (*Struct)(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(el.String(), `nil="true"`) {
+		t.Errorf("nil struct encoded as %s", el)
+	}
+}
+
+func TestDateTimeTimezonePreserved(t *testing.T) {
+	// Encoding normalizes to UTC; the instant must survive exactly.
+	loc := time.FixedZone("UTC+8", 8*3600)
+	ts := time.Date(2006, 9, 26, 15, 4, 5, 0, loc)
+	env := encodeInTestEnvelope(t, ts)
+	got, err := Decode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, ok := got.(time.Time)
+	if !ok || !gt.Equal(ts) {
+		t.Errorf("time round trip = %v, want instant %v", got, ts)
+	}
+}
+
+// encodeInTestEnvelope is a tiny local variant of the helper in the main
+// test file, kept separate to stay self-contained.
+func encodeInTestEnvelope(t *testing.T, v Value) *xmldom.Element {
+	t.Helper()
+	parent := xmldom.NewElement(xmltext.Name{Local: "P"})
+	parent.DeclareNamespace("xsi", "http://www.w3.org/2001/XMLSchema-instance")
+	parent.DeclareNamespace("xsd", "http://www.w3.org/2001/XMLSchema")
+	parent.DeclareNamespace("SOAP-ENC", "http://schemas.xmlsoap.org/soap/encoding/")
+	el, err := Encode(parent, "v", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := xmldom.ParseString(parent.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = el
+	return reparsed.Child("", "v")
+}

@@ -1,0 +1,436 @@
+// Package soapenc implements SOAP 1.1 section-5 style typed parameter
+// encoding: the conversion between Go values and xsi:type-annotated XML
+// elements.
+//
+// The value model is deliberately small and closed — it is the set of types
+// an RPC parameter can take on the wire:
+//
+//	nil        -> xsi:nil="true"
+//	string     -> xsd:string
+//	bool       -> xsd:boolean
+//	int64      -> xsd:int / xsd:long (narrowest that fits)
+//	float64    -> xsd:double
+//	[]byte     -> xsd:base64Binary
+//	time.Time  -> xsd:dateTime
+//	Array      -> SOAP-ENC:Array of items
+//	*Struct    -> untyped element with named child fields
+//
+// Decoding dispatches on xsi:type; elements without one fall back to
+// structure (child elements present -> *Struct, otherwise string), which is
+// how the loosely-typed toolkits of the era behaved.
+package soapenc
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// Value is one SOAP-encodable value. See the package comment for the closed
+// set of permitted dynamic types.
+type Value any
+
+// Array is an ordered sequence of values, encoded as a SOAP-ENC:Array.
+type Array []Value
+
+// Struct is an ordered set of named fields, encoded as child elements.
+type Struct struct {
+	Fields []Field
+}
+
+// Field is one named member of a Struct (and also one named RPC parameter).
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// NewStruct builds a Struct from alternating name/value pairs, a convenience
+// for literals in services and tests.
+func NewStruct(fields ...Field) *Struct {
+	return &Struct{Fields: fields}
+}
+
+// F is shorthand for constructing a Field.
+func F(name string, v Value) Field { return Field{Name: name, Value: v} }
+
+// Get returns the value of the first field with the given name.
+func (s *Struct) Get(name string) (Value, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f.Value, true
+		}
+	}
+	return nil, false
+}
+
+// GetString returns the named field as a string, or "" if absent/mistyped.
+func (s *Struct) GetString(name string) string {
+	v, _ := s.Get(name)
+	str, _ := v.(string)
+	return str
+}
+
+// GetInt returns the named field as an int64, or 0 if absent/mistyped.
+func (s *Struct) GetInt(name string) int64 {
+	v, _ := s.Get(name)
+	n, _ := v.(int64)
+	return n
+}
+
+// GetFloat returns the named field as a float64, or 0 if absent/mistyped.
+func (s *Struct) GetFloat(name string) float64 {
+	v, _ := s.Get(name)
+	f, _ := v.(float64)
+	return f
+}
+
+// GetBool returns the named field as a bool, or false if absent/mistyped.
+func (s *Struct) GetBool(name string) bool {
+	v, _ := s.Get(name)
+	b, _ := v.(bool)
+	return b
+}
+
+// xsiType returns the xsd type name (without prefix) for a value, or ""
+// for values encoded structurally.
+func xsiType(v Value) string {
+	switch v.(type) {
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case float64:
+		return "double"
+	case []byte:
+		return "base64Binary"
+	case time.Time:
+		return "dateTime"
+	}
+	if n, ok := v.(int64); ok {
+		if n >= math.MinInt32 && n <= math.MaxInt32 {
+			return "int"
+		}
+		return "long"
+	}
+	return ""
+}
+
+var (
+	xsiTypeAttr = xmltext.Name{Prefix: soap.PrefixXSI, Local: "type"}
+	xsiNilAttr  = xmltext.Name{Prefix: soap.PrefixXSI, Local: "nil"}
+	encArrayTyp = xmltext.Name{Prefix: soap.PrefixEncoding, Local: "arrayType"}
+)
+
+// Encode appends a child element with the given name carrying v to parent.
+// The standard prefixes (xsd, xsi, SOAP-ENC) must be in scope, which they
+// are inside any envelope built by package soap. It returns the new element.
+func Encode(parent *xmldom.Element, name string, v Value) (*xmldom.Element, error) {
+	el := parent.AddElement(xmltext.Name{Local: name})
+	if err := encodeInto(el, v); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+func encodeInto(el *xmldom.Element, v Value) error {
+	switch v := v.(type) {
+	case nil:
+		el.SetAttr(xsiNilAttr, "true")
+	case string:
+		el.SetAttr(xsiTypeAttr, soap.PrefixXSD+":string")
+		el.SetText(v)
+	case bool:
+		el.SetAttr(xsiTypeAttr, soap.PrefixXSD+":boolean")
+		el.SetText(strconv.FormatBool(v))
+	case int64:
+		el.SetAttr(xsiTypeAttr, soap.PrefixXSD+":"+xsiType(v))
+		el.SetText(strconv.FormatInt(v, 10))
+	case int:
+		return encodeInto(el, int64(v))
+	case int32:
+		return encodeInto(el, int64(v))
+	case float64:
+		el.SetAttr(xsiTypeAttr, soap.PrefixXSD+":double")
+		el.SetText(formatDouble(v))
+	case []byte:
+		el.SetAttr(xsiTypeAttr, soap.PrefixXSD+":base64Binary")
+		el.SetText(base64.StdEncoding.EncodeToString(v))
+	case time.Time:
+		el.SetAttr(xsiTypeAttr, soap.PrefixXSD+":dateTime")
+		el.SetText(v.UTC().Format(time.RFC3339Nano))
+	case Array:
+		el.SetAttr(xsiTypeAttr, soap.PrefixEncoding+":Array")
+		el.SetAttr(encArrayTyp, fmt.Sprintf("%s:anyType[%d]", soap.PrefixXSD, len(v)))
+		for _, item := range v {
+			if _, err := Encode(el, "item", item); err != nil {
+				return err
+			}
+		}
+	case *Struct:
+		if v == nil {
+			el.SetAttr(xsiNilAttr, "true")
+			return nil
+		}
+		for _, f := range v.Fields {
+			if f.Name == "" {
+				return fmt.Errorf("soapenc: struct field with empty name")
+			}
+			if _, err := Encode(el, f.Name, f.Value); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("soapenc: unsupported value type %T", v)
+	}
+	return nil
+}
+
+// formatDouble renders a float in a form xsd:double accepts, including the
+// special values.
+func formatDouble(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "INF"
+	case math.IsInf(f, -1):
+		return "-INF"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func parseDouble(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "INF":
+		return math.Inf(1), nil
+	case "-INF":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(strings.TrimSpace(s), 64)
+}
+
+// Decode converts an element back to a Value, dispatching on xsi:type.
+func Decode(el *xmldom.Element) (Value, error) {
+	// xsi:nil
+	for _, a := range el.Attrs {
+		if a.Name.Local == "nil" && resolvesTo(el, a.Name.Prefix, soap.NSXSI) {
+			if a.Value == "true" || a.Value == "1" {
+				return nil, nil
+			}
+		}
+	}
+	ts, ok := typeOf(el)
+	if !ok {
+		// No xsi:type: decide structurally.
+		if len(el.ChildElements()) > 0 {
+			return decodeStruct(el)
+		}
+		return el.Text(), nil
+	}
+	ns, local := ts.ns, ts.local
+	switch {
+	case ns == soap.NSXSD:
+		return decodeXSD(el, local)
+	case ns == soap.NSEncoding && local == "Array":
+		return decodeArray(el)
+	default:
+		// Unknown type annotation: fall back to structural decoding, like
+		// the lenient toolkits did.
+		if len(el.ChildElements()) > 0 {
+			return decodeStruct(el)
+		}
+		return el.Text(), nil
+	}
+}
+
+type typeRef struct{ ns, local string }
+
+// typeOf resolves the element's xsi:type attribute to a (namespace, local)
+// pair.
+func typeOf(el *xmldom.Element) (typeRef, bool) {
+	for _, a := range el.Attrs {
+		if a.Name.Local != "type" || !resolvesTo(el, a.Name.Prefix, soap.NSXSI) {
+			continue
+		}
+		qn := xmltext.ParseName(strings.TrimSpace(a.Value))
+		uri, ok := el.ResolvePrefix(qn.Prefix)
+		if !ok {
+			return typeRef{}, false
+		}
+		return typeRef{ns: uri, local: qn.Local}, true
+	}
+	return typeRef{}, false
+}
+
+func resolvesTo(el *xmldom.Element, prefix, wantNS string) bool {
+	uri, ok := el.ResolvePrefix(prefix)
+	return ok && uri == wantNS
+}
+
+func decodeXSD(el *xmldom.Element, local string) (Value, error) {
+	text := el.Text()
+	switch local {
+	case "string", "anyURI", "QName", "normalizedString", "token":
+		return text, nil
+	case "boolean":
+		switch strings.TrimSpace(text) {
+		case "true", "1":
+			return true, nil
+		case "false", "0":
+			return false, nil
+		}
+		return nil, fmt.Errorf("soapenc: bad xsd:boolean %q", text)
+	case "int", "long", "short", "byte", "integer", "unsignedInt", "unsignedShort":
+		n, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("soapenc: bad xsd:%s %q", local, text)
+		}
+		return n, nil
+	case "double", "float", "decimal":
+		f, err := parseDouble(strings.TrimSpace(text))
+		if err != nil {
+			return nil, fmt.Errorf("soapenc: bad xsd:%s %q", local, text)
+		}
+		return f, nil
+	case "base64Binary":
+		b, err := base64.StdEncoding.DecodeString(strings.TrimSpace(text))
+		if err != nil {
+			return nil, fmt.Errorf("soapenc: bad xsd:base64Binary: %v", err)
+		}
+		return b, nil
+	case "dateTime":
+		ts, err := time.Parse(time.RFC3339Nano, strings.TrimSpace(text))
+		if err != nil {
+			return nil, fmt.Errorf("soapenc: bad xsd:dateTime %q", text)
+		}
+		return ts, nil
+	default:
+		return nil, fmt.Errorf("soapenc: unsupported xsd type %q", local)
+	}
+}
+
+func decodeArray(el *xmldom.Element) (Value, error) {
+	items := el.ChildElements()
+	arr := make(Array, 0, len(items))
+	for _, item := range items {
+		v, err := Decode(item)
+		if err != nil {
+			return nil, err
+		}
+		arr = append(arr, v)
+	}
+	return arr, nil
+}
+
+func decodeStruct(el *xmldom.Element) (Value, error) {
+	s := &Struct{}
+	for _, c := range el.ChildElements() {
+		v, err := Decode(c)
+		if err != nil {
+			return nil, err
+		}
+		s.Fields = append(s.Fields, Field{Name: c.Name.Local, Value: v})
+	}
+	return s, nil
+}
+
+// EncodeParams appends each named parameter as a child of parent, in order.
+func EncodeParams(parent *xmldom.Element, params []Field) error {
+	for _, p := range params {
+		if p.Name == "" {
+			return fmt.Errorf("soapenc: parameter with empty name")
+		}
+		if _, err := Encode(parent, p.Name, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeParams decodes every child element of el as a named parameter.
+func DecodeParams(el *xmldom.Element) ([]Field, error) {
+	kids := el.ChildElements()
+	params := make([]Field, 0, len(kids))
+	for _, c := range kids {
+		v, err := Decode(c)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Field{Name: c.Name.Local, Value: v})
+	}
+	return params, nil
+}
+
+// Equal reports deep semantic equality of two values. Times compare with
+// time.Time.Equal; NaNs compare equal to each other (so round-trip
+// properties hold).
+func Equal(a, b Value) bool {
+	switch av := a.(type) {
+	case nil:
+		return b == nil
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case int64:
+		bv, ok := b.(int64)
+		return ok && av == bv
+	case float64:
+		bv, ok := b.(float64)
+		if !ok {
+			return false
+		}
+		if math.IsNaN(av) && math.IsNaN(bv) {
+			return true
+		}
+		return av == bv
+	case []byte:
+		bv, ok := b.([]byte)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+		return true
+	case time.Time:
+		bv, ok := b.(time.Time)
+		return ok && av.Equal(bv)
+	case Array:
+		bv, ok := b.(Array)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !Equal(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case *Struct:
+		bv, ok := b.(*Struct)
+		if !ok || len(av.Fields) != len(bv.Fields) {
+			return false
+		}
+		for i := range av.Fields {
+			if av.Fields[i].Name != bv.Fields[i].Name || !Equal(av.Fields[i].Value, bv.Fields[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,315 @@
+package stage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Controller implements SEDA's thread-pool resource controller on top of a
+// pool: it observes queue pressure and adjusts the number of live workers
+// between a floor and a ceiling. The paper's staged architecture cites
+// SEDA directly ("thread pool based event driven model [5]"), and SEDA's
+// defining mechanism — beyond the queues the paper adopts — is this
+// controller: "the thread pool controller adjusts the number of threads
+// executing within each stage" (Welsh et al., SOSP'01 §4.2).
+//
+// Policy, following the SEDA paper: every Interval, if the queue length
+// exceeds QueueThreshold, add a worker (up to MaxWorkers); if the pool has
+// been idle — no queued events — for IdleShrink, remove a worker (down to
+// MinWorkers).
+type Controller struct {
+	pool *AdaptivePool
+
+	// Interval between observations (default 1ms — SEDA used small
+	// periods relative to event service times).
+	Interval time.Duration
+	// QueueThreshold is the queue length that triggers growth (default 4).
+	QueueThreshold int
+	// IdleShrink is how long the queue must stay empty before a worker is
+	// retired (default 100ms).
+	IdleShrink time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// AdaptivePool is a worker pool whose width is adjusted at runtime. It
+// reuses Pool's bounded queue and adds worker lifecycle management.
+type AdaptivePool struct {
+	name string
+	min  int
+	max  int
+
+	mu      sync.Mutex
+	notAll  *sync.Cond
+	queue   []Task
+	closed  bool
+	workers int // current worker count
+	retire  int // workers asked to exit
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	busy      atomic.Int64
+	grown     atomic.Int64
+	shrunk    atomic.Int64
+
+	queueCap int
+	wg       sync.WaitGroup
+}
+
+// NewAdaptivePool starts a pool with min workers that may grow to max.
+func NewAdaptivePool(name string, min, max, queueDepth int) (*AdaptivePool, error) {
+	if min < 1 || max < min {
+		return nil, errors.New("stage: adaptive pool needs 1 <= min <= max")
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &AdaptivePool{name: name, min: min, max: max, queueCap: queueDepth}
+	p.notAll = sync.NewCond(&p.mu)
+	p.mu.Lock()
+	for i := 0; i < min; i++ {
+		p.spawnLocked()
+	}
+	p.mu.Unlock()
+	return p, nil
+}
+
+// spawnLocked starts one worker. Caller holds p.mu.
+func (p *AdaptivePool) spawnLocked() {
+	p.workers++
+	p.wg.Add(1)
+	go p.worker()
+}
+
+func (p *AdaptivePool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed && p.retire == 0 {
+			p.notAll.Wait()
+		}
+		if p.retire > 0 && !p.closed {
+			// Retire this worker (but never below min).
+			p.retire--
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.workers--
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.notAll.Broadcast()
+		p.mu.Unlock()
+
+		p.busy.Add(1)
+		func() {
+			defer func() { recover() }()
+			task()
+		}()
+		p.busy.Add(-1)
+		p.completed.Add(1)
+	}
+}
+
+// Submit enqueues a task, blocking while the queue is full.
+func (p *AdaptivePool) Submit(task Task) error {
+	if task == nil {
+		return errors.New("stage: nil task")
+	}
+	p.mu.Lock()
+	for len(p.queue) >= p.queueCap && !p.closed {
+		p.notAll.Wait()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.queue = append(p.queue, task)
+	p.notAll.Broadcast()
+	p.mu.Unlock()
+	p.submitted.Add(1)
+	return nil
+}
+
+// TrySubmit enqueues without blocking; ErrQueueFull on a full queue.
+func (p *AdaptivePool) TrySubmit(task Task) error {
+	if task == nil {
+		return errors.New("stage: nil task")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if len(p.queue) >= p.queueCap {
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	p.queue = append(p.queue, task)
+	p.notAll.Broadcast()
+	p.mu.Unlock()
+	p.submitted.Add(1)
+	return nil
+}
+
+// PoolStats implements Executor, mapping adaptive counters onto the
+// common stats shape.
+func (p *AdaptivePool) PoolStats() Stats {
+	st := p.Stats()
+	return Stats{
+		Submitted: st.Submitted,
+		Completed: st.Completed,
+		Workers:   st.Workers,
+		QueueCap:  p.queueCap,
+		Queued:    st.Queued,
+		Busy:      st.Busy,
+	}
+}
+
+// grow adds one worker if below max; it reports whether it did.
+func (p *AdaptivePool) grow() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.workers-p.retire >= p.max {
+		return false
+	}
+	if p.retire > 0 {
+		// Cancel a pending retirement instead of spawning.
+		p.retire--
+	} else {
+		p.spawnLocked()
+	}
+	p.grown.Add(1)
+	return true
+}
+
+// shrink retires one worker if above min; it reports whether it did.
+func (p *AdaptivePool) shrink() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.workers-p.retire <= p.min {
+		return false
+	}
+	p.retire++
+	p.notAll.Broadcast()
+	p.shrunk.Add(1)
+	return true
+}
+
+// Workers returns the current effective worker count.
+func (p *AdaptivePool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.workers - p.retire
+}
+
+// QueueLen returns the current queue length.
+func (p *AdaptivePool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// AdaptiveStats is a snapshot of adaptive-pool counters.
+type AdaptiveStats struct {
+	Submitted int64
+	Completed int64
+	Workers   int
+	Queued    int
+	Busy      int64
+	Grown     int64 // controller grow decisions
+	Shrunk    int64 // controller shrink decisions
+}
+
+// Stats returns a snapshot.
+func (p *AdaptivePool) Stats() AdaptiveStats {
+	p.mu.Lock()
+	workers := p.workers - p.retire
+	queued := len(p.queue)
+	p.mu.Unlock()
+	return AdaptiveStats{
+		Submitted: p.submitted.Load(),
+		Completed: p.completed.Load(),
+		Workers:   workers,
+		Queued:    queued,
+		Busy:      p.busy.Load(),
+		Grown:     p.grown.Load(),
+		Shrunk:    p.shrunk.Load(),
+	}
+}
+
+// Close drains the queue and stops all workers.
+func (p *AdaptivePool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.notAll.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// NewController attaches a SEDA-style resource controller to the pool and
+// starts it. Stop it with Stop; the pool itself is not closed.
+func NewController(pool *AdaptivePool) *Controller {
+	c := &Controller{
+		pool:           pool,
+		Interval:       time.Millisecond,
+		QueueThreshold: 4,
+		IdleShrink:     100 * time.Millisecond,
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *Controller) run() {
+	defer close(c.done)
+	ticker := time.NewTicker(c.Interval)
+	defer ticker.Stop()
+	idleSince := time.Now()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		qlen := c.pool.QueueLen()
+		if qlen > c.QueueThreshold {
+			c.pool.grow()
+			idleSince = time.Now()
+			continue
+		}
+		if qlen > 0 || c.pool.busy.Load() > 0 {
+			idleSince = time.Now()
+			continue
+		}
+		if time.Since(idleSince) >= c.IdleShrink {
+			if c.pool.shrink() {
+				idleSince = time.Now()
+			}
+		}
+	}
+}
+
+// Stop halts the controller and waits for its loop to exit.
+func (c *Controller) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	<-c.done
+}

@@ -1,0 +1,167 @@
+package stage
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdaptivePoolRunsTasks(t *testing.T) {
+	p, err := NewAdaptivePool("a", 2, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var n atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if err := p.Submit(func() { n.Add(1); wg.Done() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Errorf("ran %d tasks", n.Load())
+	}
+	st := p.Stats()
+	if st.Submitted != 100 || st.Completed != 100 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAdaptivePoolValidation(t *testing.T) {
+	if _, err := NewAdaptivePool("x", 0, 4, 1); err == nil {
+		t.Error("min 0 accepted")
+	}
+	if _, err := NewAdaptivePool("x", 4, 2, 1); err == nil {
+		t.Error("max < min accepted")
+	}
+	p, _ := NewAdaptivePool("x", 1, 2, 1)
+	if err := p.Submit(nil); err == nil {
+		t.Error("nil task accepted")
+	}
+	p.Close()
+	if err := p.Submit(func() {}); err != ErrClosed {
+		t.Errorf("submit after close = %v", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestAdaptivePoolGrowShrinkBounds(t *testing.T) {
+	p, err := NewAdaptivePool("b", 2, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if w := p.Workers(); w != 2 {
+		t.Fatalf("initial workers = %d", w)
+	}
+	if !p.grow() || !p.grow() {
+		t.Fatal("grow to max failed")
+	}
+	if p.grow() {
+		t.Error("grew beyond max")
+	}
+	if w := p.Workers(); w != 4 {
+		t.Errorf("workers after growth = %d", w)
+	}
+	if !p.shrink() || !p.shrink() {
+		t.Fatal("shrink to min failed")
+	}
+	if p.shrink() {
+		t.Error("shrank below min")
+	}
+	waitForWorkers(t, p, 2)
+}
+
+func waitForWorkers(t *testing.T, p *AdaptivePool, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Workers() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers = %d, want %d", p.Workers(), want)
+		}
+		// Retiring workers need a queue wakeup to notice.
+		p.Submit(func() {})
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestControllerGrowsUnderLoad(t *testing.T) {
+	p, err := NewAdaptivePool("c", 1, 8, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := NewController(p)
+	defer c.Stop()
+
+	// Saturate: slow tasks pile the queue up; the controller must add
+	// workers well beyond the single starting one.
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			time.Sleep(5 * time.Millisecond)
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Grown == 0 {
+		t.Errorf("controller never grew the pool under load: %+v", st)
+	}
+}
+
+func TestControllerShrinksWhenIdle(t *testing.T) {
+	p, err := NewAdaptivePool("d", 1, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := NewController(p)
+	c.IdleShrink = 10 * time.Millisecond
+	defer c.Stop()
+
+	// Load it up to grow...
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		p.Submit(func() { time.Sleep(3 * time.Millisecond); wg.Done() })
+	}
+	wg.Wait()
+	grownTo := p.Workers()
+
+	// ...then leave it idle and watch it come back down.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Shrunk == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller never shrank (workers %d -> %d)", grownTo, p.Workers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestControllerStopIdempotent(t *testing.T) {
+	p, _ := NewAdaptivePool("e", 1, 2, 4)
+	defer p.Close()
+	c := NewController(p)
+	c.Stop()
+	c.Stop()
+}
+
+func TestAdaptivePoolPanicIsolation(t *testing.T) {
+	p, _ := NewAdaptivePool("f", 1, 2, 4)
+	defer p.Close()
+	var ok atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(2)
+	p.Submit(func() { defer wg.Done(); panic("boom") })
+	p.Submit(func() { defer wg.Done(); ok.Store(true) })
+	wg.Wait()
+	if !ok.Load() {
+		t.Error("worker died after panic")
+	}
+}

@@ -1,0 +1,162 @@
+// Package wsdl generates and parses WSDL 1.1 service descriptions for
+// services deployed in a registry container.
+//
+// The paper's stack describes services with WSDL ("The Web Services
+// Description Language describes Web Services interface"); clients use the
+// description to learn a service's namespace and operations. This package
+// implements the RPC-style subset those toolkits exchanged: a definitions
+// document with one portType listing the operations, a SOAP binding, and a
+// service element carrying the endpoint address. Message part types are
+// loosely typed (xsd:anyType), matching the dynamically-typed parameter
+// model of package soapenc.
+package wsdl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/registry"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// Namespace URIs of WSDL 1.1.
+const (
+	// NS is the WSDL 1.1 namespace.
+	NS = "http://schemas.xmlsoap.org/wsdl/"
+	// NSSOAP is the WSDL SOAP binding namespace.
+	NSSOAP = "http://schemas.xmlsoap.org/wsdl/soap/"
+	// soapTransportHTTP identifies the HTTP transport in bindings.
+	soapTransportHTTP = "http://schemas.xmlsoap.org/soap/http"
+)
+
+// Describe builds the WSDL document for one deployed service, with the
+// given endpoint address (e.g. "http://host/services/Echo").
+func Describe(svc *registry.Service, address string) *xmldom.Element {
+	defs := xmldom.NewElement(xmltext.Name{Prefix: "wsdl", Local: "definitions"})
+	defs.DeclareNamespace("wsdl", NS)
+	defs.DeclareNamespace("soap", NSSOAP)
+	defs.DeclareNamespace("tns", svc.Namespace)
+	defs.DeclareNamespace("xsd", "http://www.w3.org/2001/XMLSchema")
+	defs.SetAttr(xmltext.Name{Local: "name"}, svc.Name)
+	defs.SetAttr(xmltext.Name{Local: "targetNamespace"}, svc.Namespace)
+
+	ops := svc.Operations()
+
+	// Messages: one request/response pair per operation.
+	for _, op := range ops {
+		req := defs.AddElement(xmltext.Name{Prefix: "wsdl", Local: "message"})
+		req.SetAttr(xmltext.Name{Local: "name"}, op.Name+"Request")
+		part := req.AddElement(xmltext.Name{Prefix: "wsdl", Local: "part"})
+		part.SetAttr(xmltext.Name{Local: "name"}, "parameters")
+		part.SetAttr(xmltext.Name{Local: "type"}, "xsd:anyType")
+
+		resp := defs.AddElement(xmltext.Name{Prefix: "wsdl", Local: "message"})
+		resp.SetAttr(xmltext.Name{Local: "name"}, op.Name+"Response")
+		part = resp.AddElement(xmltext.Name{Prefix: "wsdl", Local: "part"})
+		part.SetAttr(xmltext.Name{Local: "name"}, "result")
+		part.SetAttr(xmltext.Name{Local: "type"}, "xsd:anyType")
+	}
+
+	// PortType: the abstract interface.
+	pt := defs.AddElement(xmltext.Name{Prefix: "wsdl", Local: "portType"})
+	pt.SetAttr(xmltext.Name{Local: "name"}, svc.Name+"PortType")
+	for _, op := range ops {
+		o := pt.AddElement(xmltext.Name{Prefix: "wsdl", Local: "operation"})
+		o.SetAttr(xmltext.Name{Local: "name"}, op.Name)
+		if op.Doc != "" {
+			doc := o.AddElement(xmltext.Name{Prefix: "wsdl", Local: "documentation"})
+			doc.SetText(op.Doc)
+		}
+		in := o.AddElement(xmltext.Name{Prefix: "wsdl", Local: "input"})
+		in.SetAttr(xmltext.Name{Local: "message"}, "tns:"+op.Name+"Request")
+		out := o.AddElement(xmltext.Name{Prefix: "wsdl", Local: "output"})
+		out.SetAttr(xmltext.Name{Local: "message"}, "tns:"+op.Name+"Response")
+	}
+
+	// Binding: RPC/encoded over HTTP.
+	binding := defs.AddElement(xmltext.Name{Prefix: "wsdl", Local: "binding"})
+	binding.SetAttr(xmltext.Name{Local: "name"}, svc.Name+"Binding")
+	binding.SetAttr(xmltext.Name{Local: "type"}, "tns:"+svc.Name+"PortType")
+	sb := binding.AddElement(xmltext.Name{Prefix: "soap", Local: "binding"})
+	sb.SetAttr(xmltext.Name{Local: "style"}, "rpc")
+	sb.SetAttr(xmltext.Name{Local: "transport"}, soapTransportHTTP)
+	for _, op := range ops {
+		o := binding.AddElement(xmltext.Name{Prefix: "wsdl", Local: "operation"})
+		o.SetAttr(xmltext.Name{Local: "name"}, op.Name)
+		so := o.AddElement(xmltext.Name{Prefix: "soap", Local: "operation"})
+		so.SetAttr(xmltext.Name{Local: "soapAction"}, "")
+	}
+
+	// Service: the concrete endpoint.
+	service := defs.AddElement(xmltext.Name{Prefix: "wsdl", Local: "service"})
+	service.SetAttr(xmltext.Name{Local: "name"}, svc.Name)
+	if svc.Doc != "" {
+		doc := service.AddElement(xmltext.Name{Prefix: "wsdl", Local: "documentation"})
+		doc.SetText(svc.Doc)
+	}
+	port := service.AddElement(xmltext.Name{Prefix: "wsdl", Local: "port"})
+	port.SetAttr(xmltext.Name{Local: "name"}, svc.Name+"Port")
+	port.SetAttr(xmltext.Name{Local: "binding"}, "tns:"+svc.Name+"Binding")
+	sa := port.AddElement(xmltext.Name{Prefix: "soap", Local: "address"})
+	sa.SetAttr(xmltext.Name{Local: "location"}, address)
+
+	return defs
+}
+
+// Description is the client-facing digest of a parsed WSDL document.
+type Description struct {
+	Service    string
+	Namespace  string
+	Address    string
+	Operations []string
+	Doc        string
+}
+
+// Parse reads a WSDL document and extracts the description.
+func Parse(r io.Reader) (*Description, error) {
+	root, err := xmldom.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	if !root.Is(NS, "definitions") {
+		return nil, fmt.Errorf("wsdl: root is {%s}%s, not wsdl:definitions", root.Namespace(), root.Name.Local)
+	}
+	d := &Description{
+		Service:   root.AttrValue(xmltext.Name{Local: "name"}),
+		Namespace: root.AttrValue(xmltext.Name{Local: "targetNamespace"}),
+	}
+	if d.Namespace == "" {
+		return nil, fmt.Errorf("wsdl: missing targetNamespace")
+	}
+	if pt := root.Child(NS, "portType"); pt != nil {
+		for _, op := range pt.ChildrenNamed(NS, "operation") {
+			if name := op.AttrValue(xmltext.Name{Local: "name"}); name != "" {
+				d.Operations = append(d.Operations, name)
+			}
+		}
+	}
+	if svc := root.Child(NS, "service"); svc != nil {
+		if d.Service == "" {
+			d.Service = svc.AttrValue(xmltext.Name{Local: "name"})
+		}
+		if doc := svc.Child(NS, "documentation"); doc != nil {
+			d.Doc = strings.TrimSpace(doc.Text())
+		}
+		if port := svc.Child(NS, "port"); port != nil {
+			if addr := port.Child(NSSOAP, "address"); addr != nil {
+				d.Address = addr.AttrValue(xmltext.Name{Local: "location"})
+			}
+		}
+	}
+	if d.Service == "" {
+		return nil, fmt.Errorf("wsdl: missing service name")
+	}
+	return d, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Description, error) {
+	return Parse(strings.NewReader(s))
+}

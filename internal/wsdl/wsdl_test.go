@@ -1,0 +1,92 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/soapenc"
+)
+
+func newService(t *testing.T) *registry.Service {
+	t.Helper()
+	c := registry.NewContainer()
+	svc := c.MustAddService("Echo", "urn:spi:Echo", "echo service for tests")
+	h := func(ctx *registry.Context, p []soapenc.Field) ([]soapenc.Field, error) { return p, nil }
+	svc.MustRegister("echo", h, "identity")
+	svc.MustRegister("echoSize", h, "size only")
+	return svc
+}
+
+func TestDescribeParseRoundTrip(t *testing.T) {
+	svc := newService(t)
+	doc := Describe(svc, "http://server/services/Echo")
+	d, err := ParseString(doc.String())
+	if err != nil {
+		t.Fatalf("parse generated WSDL: %v\n%s", err, doc)
+	}
+	if d.Service != "Echo" {
+		t.Errorf("service = %q", d.Service)
+	}
+	if d.Namespace != "urn:spi:Echo" {
+		t.Errorf("namespace = %q", d.Namespace)
+	}
+	if d.Address != "http://server/services/Echo" {
+		t.Errorf("address = %q", d.Address)
+	}
+	if len(d.Operations) != 2 || d.Operations[0] != "echo" || d.Operations[1] != "echoSize" {
+		t.Errorf("operations = %v", d.Operations)
+	}
+	if d.Doc != "echo service for tests" {
+		t.Errorf("doc = %q", d.Doc)
+	}
+}
+
+func TestDescribeStructure(t *testing.T) {
+	svc := newService(t)
+	out := Describe(svc, "http://x/services/Echo").String()
+	for _, want := range []string{
+		`targetNamespace="urn:spi:Echo"`,
+		`<wsdl:portType name="EchoPortType">`,
+		`<wsdl:operation name="echo">`,
+		`message="tns:echoRequest"`,
+		`message="tns:echoResponse"`,
+		`style="rpc"`,
+		`transport="http://schemas.xmlsoap.org/soap/http"`,
+		`<soap:address location="http://x/services/Echo"/>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WSDL missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<notwsdl/>`,
+		`<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"/>`, // no targetNamespace
+		`broken <xml`,
+		`<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" targetNamespace="urn:x"/>`, // no service name
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	src := `<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+	  targetNamespace="urn:min" name="Min">
+	  <wsdl:portType name="MinPortType">
+	    <wsdl:operation name="go"/>
+	  </wsdl:portType>
+	</wsdl:definitions>`
+	d, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Service != "Min" || len(d.Operations) != 1 || d.Operations[0] != "go" {
+		t.Errorf("description = %+v", d)
+	}
+}

@@ -1,0 +1,160 @@
+package wsse
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmldom"
+)
+
+var secret = []byte("shared-secret")
+
+func newSigner() *Signer {
+	return &Signer{Username: "alice", Secret: secret}
+}
+
+func newVerifier() *Verifier {
+	return &Verifier{Secrets: map[string][]byte{"alice": secret}}
+}
+
+// signAndReparse builds headers for a body and round-trips them through
+// serialization, as the envelope codec would.
+func signAndReparse(t *testing.T, s *Signer, body []byte) *xmldom.Element {
+	t.Helper()
+	blocks, err := s.MakeHeaders(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("got %d header blocks", len(blocks))
+	}
+	reparsed, err := xmldom.ParseString(blocks[0].String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reparsed
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	body := []byte(`<Echo xmlns="urn:spi:Echo"><m>x</m></Echo>`)
+	block := signAndReparse(t, newSigner(), body)
+	if err := newVerifier().ProcessHeader(block, body); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestTamperedBodyRejected(t *testing.T) {
+	body := []byte(`<Echo><m>x</m></Echo>`)
+	block := signAndReparse(t, newSigner(), body)
+	err := newVerifier().ProcessHeader(block, []byte(`<Echo><m>TAMPERED</m></Echo>`))
+	if err == nil || !strings.Contains(err.Error(), "signature mismatch") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownUserRejected(t *testing.T) {
+	block := signAndReparse(t, &Signer{Username: "mallory", Secret: secret}, []byte("b"))
+	if err := newVerifier().ProcessHeader(block, []byte("b")); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestWrongSecretRejected(t *testing.T) {
+	block := signAndReparse(t, &Signer{Username: "alice", Secret: []byte("wrong")}, []byte("b"))
+	err := newVerifier().ProcessHeader(block, []byte("b"))
+	if err == nil || !strings.Contains(err.Error(), "digest") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExpiredTokenRejected(t *testing.T) {
+	old := time.Now().Add(-time.Hour)
+	s := newSigner()
+	s.Now = func() time.Time { return old }
+	block := signAndReparse(t, s, []byte("b"))
+	err := newVerifier().ProcessHeader(block, []byte("b"))
+	if err == nil || !strings.Contains(err.Error(), "expired") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	body := []byte("b")
+	block := signAndReparse(t, newSigner(), body)
+	v := newVerifier()
+	if err := v.ProcessHeader(block, body); err != nil {
+		t.Fatal(err)
+	}
+	err := v.ProcessHeader(block, body)
+	if err == nil || !strings.Contains(err.Error(), "replay") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNoncesDiffer(t *testing.T) {
+	s := newSigner()
+	b1, _ := s.MakeHeaders([]byte("b"))
+	b2, _ := s.MakeHeaders([]byte("b"))
+	n1 := b1[0].Child(NS, "UsernameToken").Child(NS, "Nonce").Text()
+	n2 := b2[0].Child(NS, "UsernameToken").Child(NS, "Nonce").Text()
+	if n1 == n2 {
+		t.Error("two headers share a nonce")
+	}
+}
+
+func TestMustUnderstandFlag(t *testing.T) {
+	s := newSigner()
+	s.MustUnderstand = true
+	blocks, err := s.MakeHeaders([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(blocks[0].String(), `mustUnderstand="1"`) {
+		t.Errorf("header = %s", blocks[0])
+	}
+}
+
+func TestIncompleteHeaderRejected(t *testing.T) {
+	cases := []string{
+		`<wsse:Security xmlns:wsse="` + NS + `"/>`,
+		`<wsse:Security xmlns:wsse="` + NS + `"><wsse:UsernameToken><wsse:Username>alice</wsse:Username></wsse:UsernameToken></wsse:Security>`,
+	}
+	v := newVerifier()
+	for _, src := range cases {
+		el, err := xmldom.ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.ProcessHeader(el, []byte("b")); err == nil {
+			t.Errorf("incomplete header accepted: %s", src)
+		}
+	}
+}
+
+func TestSignerValidation(t *testing.T) {
+	s := &Signer{}
+	if _, err := s.MakeHeaders([]byte("b")); err == nil {
+		t.Error("empty signer accepted")
+	}
+}
+
+func TestHeaderNameContract(t *testing.T) {
+	ns, local := newVerifier().HeaderName()
+	if ns != NS || local != ElemSecurity {
+		t.Errorf("HeaderName = %q %q", ns, local)
+	}
+}
+
+func TestHeaderSizeIsSubstantial(t *testing.T) {
+	// The experiment's premise: the security header adds a few hundred
+	// bytes of per-message overhead.
+	blocks, err := newSigner().MakeHeaders([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := len(blocks[0].String())
+	if size < 300 {
+		t.Errorf("security header only %d bytes; experiment premise needs a substantial header", size)
+	}
+}

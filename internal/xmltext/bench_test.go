@@ -1,0 +1,84 @@
+package xmltext
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// buildDoc produces a SOAP-shaped document of roughly the given size.
+func buildDoc(approxBytes int) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?><Envelope xmlns="urn:bench"><Body>`)
+	i := 0
+	for b.Len() < approxBytes {
+		fmt.Fprintf(&b, `<item id="%d" type="string">payload text %d &amp; more</item>`, i, i)
+		i++
+	}
+	b.WriteString(`</Body></Envelope>`)
+	return b.String()
+}
+
+func benchTokenize(b *testing.B, doc string) {
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tk := NewTokenizer(strings.NewReader(doc))
+		for {
+			_, err := tk.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTokenize measures tokenizer throughput at SOAP-typical sizes.
+func BenchmarkTokenize(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		doc := buildDoc(size)
+		b.Run(fmt.Sprintf("%dKB", size/1024), func(b *testing.B) {
+			benchTokenize(b, doc)
+		})
+	}
+}
+
+// BenchmarkEscapeText measures the escaper's fast and slow paths.
+func BenchmarkEscapeText(b *testing.B) {
+	clean := strings.Repeat("no special characters here ", 40)
+	dirty := strings.Repeat("a<b & \"c\" > d ", 40)
+	b.Run("clean", func(b *testing.B) {
+		b.SetBytes(int64(len(clean)))
+		for i := 0; i < b.N; i++ {
+			EscapeText(clean)
+		}
+	})
+	b.Run("dirty", func(b *testing.B) {
+		b.SetBytes(int64(len(dirty)))
+		for i := 0; i < b.N; i++ {
+			EscapeText(dirty)
+		}
+	})
+}
+
+// BenchmarkWriter measures serialized output throughput.
+func BenchmarkWriter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard)
+		w.StartElement(Name{Local: "Envelope"})
+		for j := 0; j < 100; j++ {
+			w.StartElement(Name{Local: "item"}, Attr{Name: Name{Local: "id"}, Value: "7"})
+			w.Text("payload text & more")
+			w.EndElement()
+		}
+		w.EndElement()
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

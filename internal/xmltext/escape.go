@@ -1,0 +1,96 @@
+package xmltext
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// EscapeText escapes s for use as XML character data: '&', '<' and '>' are
+// replaced by entity references, carriage returns by a character reference
+// (so they survive end-of-line normalization), and invalid XML characters by
+// U+FFFD.
+func EscapeText(s string) string {
+	return escape(s, false)
+}
+
+// EscapeAttr escapes s for use inside a double-quoted attribute value. In
+// addition to the text escapes it encodes '"', tab and newline so the exact
+// value round-trips through attribute-value normalization.
+func EscapeAttr(s string) string {
+	return escape(s, true)
+}
+
+func escape(s string, attr bool) string {
+	// Fast path: nothing to escape.
+	if !needsEscape(s, attr) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			if attr {
+				b.WriteString("&quot;")
+			} else {
+				b.WriteByte('"')
+			}
+		case '\r':
+			b.WriteString("&#13;")
+		case '\t':
+			if attr {
+				b.WriteString("&#9;")
+			} else {
+				b.WriteByte('\t')
+			}
+		case '\n':
+			if attr {
+				b.WriteString("&#10;")
+			} else {
+				b.WriteByte('\n')
+			}
+		case utf8.RuneError:
+			if size == 1 {
+				// Invalid UTF-8 byte: replace, as encoders must not emit it.
+				b.WriteRune(utf8.RuneError)
+				i += size
+				continue
+			}
+			b.WriteRune(r)
+		default:
+			if !isValidXMLChar(r) {
+				b.WriteRune(utf8.RuneError)
+			} else {
+				b.WriteString(s[i : i+size])
+			}
+		}
+		i += size
+	}
+	return b.String()
+}
+
+func needsEscape(s string, attr bool) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '&', '<', '>', '\r':
+			return true
+		case '"', '\t', '\n':
+			if attr {
+				return true
+			}
+		default:
+			if c < 0x20 || c >= utf8.RuneSelf {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package xmltext
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// drainAny tokenizes until EOF or error; it must never panic or loop
+// forever. Returns the number of tokens and the terminal error.
+func drainAny(src string) (int, error) {
+	tk := NewTokenizer(strings.NewReader(src))
+	n := 0
+	for {
+		_, err := tk.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if n > 1_000_000 {
+			panic("tokenizer did not terminate")
+		}
+	}
+}
+
+// Property: arbitrary byte soup never panics the tokenizer and always
+// terminates.
+func TestQuickArbitraryBytesNeverPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		drainAny(string(data))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: markup-flavoured random soup (lots of <, >, &, quotes) never
+// panics. Plain random bytes rarely contain markup, so bias the alphabet.
+func TestQuickMarkupSoupNeverPanics(t *testing.T) {
+	alphabet := []byte(`<>/&;"'=! abAB-_.:[]?-`)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		drainAny(string(buf))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mutations of a valid document never panic, and whenever they
+// tokenize successfully the token stream is well-nested (guaranteed by the
+// tokenizer's own stack checks, exercised here under stress).
+func TestQuickMutatedDocuments(t *testing.T) {
+	base := `<?xml version="1.0"?><a x="1"><b>text &amp; more</b><!--c--><c><![CDATA[raw]]></c></a>`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		buf := []byte(base)
+		for k := 0; k < 1+r.Intn(5); k++ {
+			switch r.Intn(3) {
+			case 0: // flip a byte
+				buf[r.Intn(len(buf))] = byte(r.Intn(256))
+			case 1: // delete a byte
+				i := r.Intn(len(buf))
+				buf = append(buf[:i], buf[i+1:]...)
+			case 2: // duplicate a span
+				i := r.Intn(len(buf))
+				j := i + r.Intn(len(buf)-i)
+				buf = append(buf[:j], append([]byte(string(buf[i:j])), buf[j:]...)...)
+			}
+			if len(buf) == 0 {
+				buf = []byte("<a/>")
+			}
+		}
+		drainAny(string(buf))
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 3000, Rand: rand.New(rand.NewSource(47))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Deep nesting close to the limit must work; past it must error cleanly.
+func TestNestingBoundary(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < MaxDepth; i++ {
+		b.WriteString("<d>")
+	}
+	for i := 0; i < MaxDepth; i++ {
+		b.WriteString("</d>")
+	}
+	if _, err := drainAny(b.String()); err != nil {
+		t.Errorf("depth == MaxDepth rejected: %v", err)
+	}
+}
+
+// Very long names, attribute values and text runs tokenize correctly.
+func TestLongTokens(t *testing.T) {
+	longName := strings.Repeat("n", 10_000)
+	longVal := strings.Repeat("v", 100_000)
+	longText := strings.Repeat("t", 1_000_000)
+	src := "<" + longName + ` a="` + longVal + `">` + longText + "</" + longName + ">"
+	toks := drain(t, src)
+	if toks[0].Name.Local != longName {
+		t.Error("long name mangled")
+	}
+	if toks[0].Attrs[0].Value != longVal {
+		t.Error("long attr mangled")
+	}
+	if toks[1].Text != longText {
+		t.Error("long text mangled")
+	}
+}
+
+// A pathological entity bomb is rejected by the entity-length guard rather
+// than expanding (we support only character references and the five
+// predefined entities — no general entities, so no billion laughs).
+func TestNoEntityExpansion(t *testing.T) {
+	src := `<a>&` + strings.Repeat("x", 100) + `;</a>`
+	if _, err := drainAny(src); err == nil {
+		t.Error("oversized entity accepted")
+	}
+}

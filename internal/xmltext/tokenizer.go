@@ -1,0 +1,630 @@
+package xmltext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Limits guarding against pathological or hostile input. They are generous
+// for SOAP traffic (the paper's largest experiment packs 128 x 100 KB
+// payloads into one envelope, well under these caps).
+const (
+	// MaxDepth is the maximum element nesting depth.
+	MaxDepth = 1024
+	// MaxTokenBytes is the maximum size of a single token (one text run,
+	// one start tag including attributes, one comment, ...).
+	MaxTokenBytes = 256 << 20
+	// MaxAttrs is the maximum number of attributes on one element.
+	MaxAttrs = 1024
+)
+
+// Tokenizer reads a stream of XML tokens from an io.Reader.
+//
+// The zero value is not usable; call NewTokenizer. A Tokenizer checks
+// well-formedness incrementally: tags must nest properly, attribute names
+// must be unique per element, and exactly one root element is allowed.
+type Tokenizer struct {
+	r    *bufio.Reader
+	pos  Pos
+	err  error  // sticky error
+	open []Name // stack of open elements
+
+	// pendingEnd is set after a self-closing start tag so the next call
+	// returns the synthetic end token.
+	pendingEnd Name
+	hasPending bool
+
+	sawRoot    bool // a root element has been opened
+	rootClosed bool // the root element has been closed
+
+	buf []byte // scratch for token assembly, reused between calls
+}
+
+// NewTokenizer returns a Tokenizer reading from r.
+func NewTokenizer(r io.Reader) *Tokenizer {
+	return &Tokenizer{
+		r:   bufio.NewReaderSize(r, 16<<10),
+		pos: Pos{Line: 1, Col: 1},
+	}
+}
+
+// Pos returns the current input position (just past the last byte consumed).
+func (t *Tokenizer) Pos() Pos { return t.pos }
+
+// Depth returns the current element nesting depth.
+func (t *Tokenizer) Depth() int { return len(t.open) }
+
+func (t *Tokenizer) syntaxErr(format string, args ...any) error {
+	err := &SyntaxError{Pos: t.pos, Msg: fmt.Sprintf(format, args...)}
+	t.err = err
+	return err
+}
+
+// readByte consumes one byte, tracking position.
+func (t *Tokenizer) readByte() (byte, error) {
+	c, err := t.r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		t.err = err
+		return 0, err
+	}
+	if c == '\n' {
+		t.pos.Line++
+		t.pos.Col = 1
+	} else {
+		t.pos.Col++
+	}
+	return c, nil
+}
+
+func (t *Tokenizer) unreadByte() {
+	// bufio guarantees one byte of unread after a successful ReadByte.
+	_ = t.r.UnreadByte()
+	if t.pos.Col > 1 {
+		t.pos.Col--
+	}
+}
+
+func (t *Tokenizer) peekByte() (byte, error) {
+	b, err := t.r.Peek(1)
+	if err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		t.err = err
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Next returns the next token. At end of input it returns io.EOF. Once any
+// error has been returned, every subsequent call returns the same error.
+func (t *Tokenizer) Next() (Token, error) {
+	if t.err != nil {
+		return Token{}, t.err
+	}
+	if t.hasPending {
+		t.hasPending = false
+		name := t.pendingEnd
+		t.popElement(name)
+		return Token{Kind: KindEndElement, Name: name}, nil
+	}
+
+	c, err := t.peekByte()
+	if err == io.EOF {
+		if len(t.open) > 0 {
+			return Token{}, t.syntaxErr("unexpected EOF: element <%s> not closed", t.open[len(t.open)-1])
+		}
+		if !t.rootClosed {
+			return Token{}, t.syntaxErr("unexpected EOF: no root element")
+		}
+		t.err = io.EOF
+		return Token{}, io.EOF
+	}
+	if err != nil {
+		return Token{}, err
+	}
+
+	if c == '<' {
+		return t.readMarkup()
+	}
+	return t.readText()
+}
+
+// readText consumes character data up to the next '<' (or EOF) and returns
+// it as a single text token, with entities decoded.
+func (t *Tokenizer) readText() (Token, error) {
+	t.buf = t.buf[:0]
+	for {
+		c, err := t.readByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Token{}, err
+		}
+		if c == '<' {
+			t.unreadByte()
+			break
+		}
+		if c == '&' {
+			r, err := t.readEntity()
+			if err != nil {
+				return Token{}, err
+			}
+			t.buf = utf8.AppendRune(t.buf, r)
+		} else {
+			t.buf = append(t.buf, c)
+		}
+		if len(t.buf) > MaxTokenBytes {
+			return Token{}, t.syntaxErr("text token exceeds %d bytes", MaxTokenBytes)
+		}
+	}
+	text := string(t.buf)
+	if len(t.open) == 0 {
+		// Outside the root element only whitespace is allowed.
+		if strings.TrimSpace(text) != "" {
+			return Token{}, t.syntaxErr("character data outside root element")
+		}
+		// Skip it and continue with the following markup or EOF.
+		return t.Next()
+	}
+	return Token{Kind: KindText, Text: text}, nil
+}
+
+// readEntity decodes one entity reference; the leading '&' has been consumed.
+func (t *Tokenizer) readEntity() (rune, error) {
+	var name []byte
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			return 0, t.syntaxErr("unterminated entity reference")
+		}
+		if c == ';' {
+			break
+		}
+		name = append(name, c)
+		if len(name) > 32 {
+			return 0, t.syntaxErr("entity reference too long")
+		}
+	}
+	s := string(name)
+	switch s {
+	case "lt":
+		return '<', nil
+	case "gt":
+		return '>', nil
+	case "amp":
+		return '&', nil
+	case "quot":
+		return '"', nil
+	case "apos":
+		return '\'', nil
+	}
+	if strings.HasPrefix(s, "#") {
+		return t.decodeCharRef(s[1:])
+	}
+	return 0, t.syntaxErr("unknown entity &%s;", s)
+}
+
+func (t *Tokenizer) decodeCharRef(s string) (rune, error) {
+	base := 10
+	if strings.HasPrefix(s, "x") || strings.HasPrefix(s, "X") {
+		base = 16
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, t.syntaxErr("empty character reference")
+	}
+	var n int64
+	for _, c := range s {
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, t.syntaxErr("bad character reference &#%s;", s)
+		}
+		n = n*int64(base) + d
+		if n > utf8.MaxRune {
+			return 0, t.syntaxErr("character reference out of range")
+		}
+	}
+	r := rune(n)
+	if !isValidXMLChar(r) {
+		return 0, t.syntaxErr("character reference U+%04X is not a valid XML character", n)
+	}
+	return r, nil
+}
+
+// isValidXMLChar reports whether r is allowed in XML 1.0 content.
+func isValidXMLChar(r rune) bool {
+	switch {
+	case r == '\t' || r == '\n' || r == '\r':
+		return true
+	case r >= 0x20 && r <= 0xD7FF:
+		return true
+	case r >= 0xE000 && r <= 0xFFFD:
+		return true
+	case r >= 0x10000 && r <= 0x10FFFF:
+		return true
+	}
+	return false
+}
+
+// readMarkup handles everything that begins with '<'.
+func (t *Tokenizer) readMarkup() (Token, error) {
+	if _, err := t.readByte(); err != nil { // consume '<'
+		return Token{}, err
+	}
+	c, err := t.peekByte()
+	if err != nil {
+		return Token{}, t.syntaxErr("unexpected EOF after '<'")
+	}
+	switch c {
+	case '/':
+		_, _ = t.readByte()
+		return t.readEndTag()
+	case '!':
+		_, _ = t.readByte()
+		return t.readBang()
+	case '?':
+		_, _ = t.readByte()
+		return t.readProcInst()
+	default:
+		return t.readStartTag()
+	}
+}
+
+// readStartTag parses "<name attr='v' ...>" or "<name ... />"; the '<' has
+// been consumed.
+func (t *Tokenizer) readStartTag() (Token, error) {
+	if t.rootClosed {
+		return Token{}, t.syntaxErr("content after root element")
+	}
+	raw, err := t.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	name := ParseName(raw)
+	tok := Token{Kind: KindStartElement, Name: name}
+	for {
+		if err := t.skipSpace(); err != nil {
+			return Token{}, t.syntaxErr("unexpected EOF in tag <%s>", raw)
+		}
+		c, err := t.readByte()
+		if err != nil {
+			return Token{}, t.syntaxErr("unexpected EOF in tag <%s>", raw)
+		}
+		switch c {
+		case '>':
+			t.pushElement(name)
+			return tok, t.err
+		case '/':
+			c2, err := t.readByte()
+			if err != nil || c2 != '>' {
+				return Token{}, t.syntaxErr("expected '>' after '/' in tag <%s>", raw)
+			}
+			tok.SelfClosing = true
+			t.pushElement(name)
+			if t.err != nil {
+				return Token{}, t.err
+			}
+			t.pendingEnd = name
+			t.hasPending = true
+			return tok, nil
+		default:
+			t.unreadByte()
+			attr, err := t.readAttr()
+			if err != nil {
+				return Token{}, err
+			}
+			for _, a := range tok.Attrs {
+				if a.Name == attr.Name {
+					return Token{}, t.syntaxErr("duplicate attribute %q in tag <%s>", attr.Name, raw)
+				}
+			}
+			if len(tok.Attrs) >= MaxAttrs {
+				return Token{}, t.syntaxErr("too many attributes in tag <%s>", raw)
+			}
+			tok.Attrs = append(tok.Attrs, attr)
+		}
+	}
+}
+
+func (t *Tokenizer) pushElement(name Name) {
+	if t.rootClosed {
+		t.syntaxErr("second root element <%s>", name)
+		return
+	}
+	if len(t.open) >= MaxDepth {
+		t.syntaxErr("element nesting exceeds depth %d", MaxDepth)
+		return
+	}
+	t.sawRoot = true
+	t.open = append(t.open, name)
+}
+
+func (t *Tokenizer) popElement(name Name) {
+	t.open = t.open[:len(t.open)-1]
+	if len(t.open) == 0 {
+		t.rootClosed = true
+	}
+	_ = name
+}
+
+// readEndTag parses "</name>"; the "</" has been consumed.
+func (t *Tokenizer) readEndTag() (Token, error) {
+	raw, err := t.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	if err := t.skipSpace(); err != nil {
+		return Token{}, t.syntaxErr("unexpected EOF in end tag </%s>", raw)
+	}
+	c, err := t.readByte()
+	if err != nil || c != '>' {
+		return Token{}, t.syntaxErr("expected '>' in end tag </%s>", raw)
+	}
+	name := ParseName(raw)
+	if len(t.open) == 0 {
+		return Token{}, t.syntaxErr("end tag </%s> with no open element", raw)
+	}
+	if top := t.open[len(t.open)-1]; top != name {
+		return Token{}, t.syntaxErr("end tag </%s> does not match <%s>", raw, top)
+	}
+	t.popElement(name)
+	return Token{Kind: KindEndElement, Name: name}, nil
+}
+
+// readBang handles "<!--", "<![CDATA[" and "<!DOCTYPE"; "<!" has been consumed.
+func (t *Tokenizer) readBang() (Token, error) {
+	c, err := t.peekByte()
+	if err != nil {
+		return Token{}, t.syntaxErr("unexpected EOF after '<!'")
+	}
+	switch c {
+	case '-':
+		return t.readComment()
+	case '[':
+		return t.readCDATA()
+	default:
+		return Token{}, t.syntaxErr("DOCTYPE and other declarations are not allowed")
+	}
+}
+
+// readComment parses "<!-- ... -->"; "<!" has been consumed.
+func (t *Tokenizer) readComment() (Token, error) {
+	for _, want := range []byte("--") {
+		c, err := t.readByte()
+		if err != nil || c != want {
+			return Token{}, t.syntaxErr("malformed comment open")
+		}
+	}
+	t.buf = t.buf[:0]
+	dashes := 0
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			return Token{}, t.syntaxErr("unterminated comment")
+		}
+		if c == '-' {
+			dashes++
+			if dashes > 2 {
+				return Token{}, t.syntaxErr("'--' not allowed inside comment")
+			}
+			continue
+		}
+		if dashes == 2 {
+			if c != '>' {
+				return Token{}, t.syntaxErr("'--' not allowed inside comment")
+			}
+			return Token{Kind: KindComment, Text: string(t.buf)}, nil
+		}
+		for ; dashes > 0; dashes-- {
+			t.buf = append(t.buf, '-')
+		}
+		t.buf = append(t.buf, c)
+		if len(t.buf) > MaxTokenBytes {
+			return Token{}, t.syntaxErr("comment exceeds %d bytes", MaxTokenBytes)
+		}
+	}
+}
+
+// readCDATA parses "<![CDATA[ ... ]]>"; "<!" has been consumed. The content
+// is returned as a text token.
+func (t *Tokenizer) readCDATA() (Token, error) {
+	for _, want := range []byte("[CDATA[") {
+		c, err := t.readByte()
+		if err != nil || c != want {
+			return Token{}, t.syntaxErr("malformed CDATA open")
+		}
+	}
+	if len(t.open) == 0 {
+		return Token{}, t.syntaxErr("CDATA outside root element")
+	}
+	t.buf = t.buf[:0]
+	brackets := 0
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			return Token{}, t.syntaxErr("unterminated CDATA section")
+		}
+		switch {
+		case c == ']':
+			if brackets == 2 {
+				// "]]]" — emit one pending ']'.
+				t.buf = append(t.buf, ']')
+			} else {
+				brackets++
+			}
+		case c == '>' && brackets == 2:
+			return Token{Kind: KindText, Text: string(t.buf)}, nil
+		default:
+			for ; brackets > 0; brackets-- {
+				t.buf = append(t.buf, ']')
+			}
+			t.buf = append(t.buf, c)
+		}
+		if len(t.buf) > MaxTokenBytes {
+			return Token{}, t.syntaxErr("CDATA exceeds %d bytes", MaxTokenBytes)
+		}
+	}
+}
+
+// readProcInst parses "<?target data?>"; "<?" has been consumed.
+func (t *Tokenizer) readProcInst() (Token, error) {
+	target, err := t.readName()
+	if err != nil {
+		return Token{}, err
+	}
+	t.buf = t.buf[:0]
+	question := false
+	first := true
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			return Token{}, t.syntaxErr("unterminated processing instruction")
+		}
+		if first && !isSpaceByte(c) && c != '?' {
+			return Token{}, t.syntaxErr("malformed processing instruction")
+		}
+		first = false
+		if question && c == '>' {
+			text := strings.TrimLeft(string(t.buf), " \t\r\n")
+			return Token{Kind: KindProcInst, Target: target, Text: text}, nil
+		}
+		if question {
+			t.buf = append(t.buf, '?')
+			question = false
+		}
+		if c == '?' {
+			question = true
+		} else {
+			t.buf = append(t.buf, c)
+		}
+		if len(t.buf) > MaxTokenBytes {
+			return Token{}, t.syntaxErr("processing instruction exceeds %d bytes", MaxTokenBytes)
+		}
+	}
+}
+
+// readName reads an XML name (element, attribute or PI target).
+func (t *Tokenizer) readName() (string, error) {
+	t.buf = t.buf[:0]
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			return "", t.syntaxErr("unexpected EOF in name")
+		}
+		if isNameByte(c, len(t.buf) == 0) {
+			t.buf = append(t.buf, c)
+			continue
+		}
+		t.unreadByte()
+		break
+	}
+	if len(t.buf) == 0 {
+		return "", t.syntaxErr("expected a name")
+	}
+	return string(t.buf), nil
+}
+
+// readAttr parses one name="value" pair.
+func (t *Tokenizer) readAttr() (Attr, error) {
+	raw, err := t.readName()
+	if err != nil {
+		return Attr{}, err
+	}
+	if err := t.skipSpace(); err != nil {
+		return Attr{}, t.syntaxErr("unexpected EOF after attribute name %q", raw)
+	}
+	c, err := t.readByte()
+	if err != nil || c != '=' {
+		return Attr{}, t.syntaxErr("expected '=' after attribute name %q", raw)
+	}
+	if err := t.skipSpace(); err != nil {
+		return Attr{}, t.syntaxErr("unexpected EOF after '='")
+	}
+	quote, err := t.readByte()
+	if err != nil || (quote != '"' && quote != '\'') {
+		return Attr{}, t.syntaxErr("attribute value for %q must be quoted", raw)
+	}
+	t.buf = t.buf[:0]
+	var val []byte
+	for {
+		c, err := t.readByte()
+		if err != nil {
+			return Attr{}, t.syntaxErr("unterminated attribute value for %q", raw)
+		}
+		if c == quote {
+			break
+		}
+		switch c {
+		case '&':
+			r, err := t.readEntity()
+			if err != nil {
+				return Attr{}, err
+			}
+			val = utf8.AppendRune(val, r)
+		case '<':
+			return Attr{}, t.syntaxErr("'<' not allowed in attribute value")
+		case '\t', '\n', '\r':
+			// Attribute-value normalization per XML 1.0 3.3.3.
+			val = append(val, ' ')
+		default:
+			val = append(val, c)
+		}
+		if len(val) > MaxTokenBytes {
+			return Attr{}, t.syntaxErr("attribute value exceeds %d bytes", MaxTokenBytes)
+		}
+	}
+	return Attr{Name: ParseName(raw), Value: string(val)}, nil
+}
+
+// skipSpace consumes whitespace. It returns io.EOF if input ends.
+func (t *Tokenizer) skipSpace() error {
+	for {
+		c, err := t.peekByte()
+		if err != nil {
+			return err
+		}
+		if !isSpaceByte(c) {
+			return nil
+		}
+		if _, err := t.readByte(); err != nil {
+			return err
+		}
+	}
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}
+
+// isNameByte reports whether c may appear in an XML name. Multi-byte UTF-8
+// sequences are accepted wholesale (bytes >= 0x80), which admits all
+// non-ASCII name characters; this is deliberately permissive, matching what
+// SOAP toolkits of the era accepted.
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= 0x80:
+		return true
+	case first:
+		return false
+	case c >= '0' && c <= '9', c == '-', c == '.':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package spi_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	spi "repro"
+	"repro/internal/bench"
+	"repro/internal/services"
+)
+
+// TestSoak hammers a full deployment with a randomized mixture of every
+// client interface — single calls, futures, explicit batches, execution
+// plans and the auto-batcher — concurrently, against all deployed services.
+// It is a leak/deadlock/corruption hunt: every call must resolve, every
+// result must be self-consistent, and the server must stay healthy
+// throughout. Skipped in -short mode.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	env, err := bench.NewEnv(bench.EnvOptions{Travel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	auto := spi.NewAutoBatcher(env.Client, time.Millisecond, 64)
+	defer auto.Close()
+
+	const (
+		workers  = 12
+		opsEach  = 60
+		deadline = 60 * time.Second
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*opsEach)
+	done := make(chan struct{})
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsEach; i++ {
+				payload := fmt.Sprintf("w%d-i%d", w, i)
+				switch rng.Intn(5) {
+				case 0: // plain call
+					res, err := env.Client.Call("Echo", "echo", spi.F("data", payload))
+					if err != nil {
+						errs <- fmt.Errorf("call: %w", err)
+						continue
+					}
+					if !spi.ValueEqual(res[0].Value, payload) {
+						errs <- fmt.Errorf("call result mismatch: %v", res)
+					}
+				case 1: // future
+					call := env.Client.Go("WeatherService", "GetWeather", spi.F("CityName", "Beijing"))
+					if _, err := call.Wait(); err != nil {
+						errs <- fmt.Errorf("go: %w", err)
+					}
+				case 2: // explicit batch across services
+					b := env.Client.NewBatch()
+					e := b.Add("Echo", "echo", spi.F("data", payload))
+					q := b.Add("Airline1", "QueryFlights",
+						spi.F("from", "A"), spi.F("to", "B"), spi.F("date", "2006-09-26"))
+					if err := b.Send(); err != nil {
+						errs <- fmt.Errorf("batch: %w", err)
+						continue
+					}
+					if res, err := e.Wait(); err != nil || !spi.ValueEqual(res[0].Value, payload) {
+						errs <- fmt.Errorf("batch echo: %v %v", res, err)
+					}
+					if res, err := q.Wait(); err != nil || len(res) == 0 {
+						errs <- fmt.Errorf("batch query: %v %v", res, err)
+					}
+				case 3: // execution plan with a dependency
+					p := env.Client.NewPlan()
+					first := p.Add("Echo", "echo", spi.F("data", payload))
+					second := p.Add("Echo", "echo", spi.F("data", first.Ref("data")))
+					if err := p.Send(); err != nil {
+						errs <- fmt.Errorf("plan: %w", err)
+						continue
+					}
+					if res, err := second.Wait(); err != nil || !spi.ValueEqual(res[0].Value, payload) {
+						errs <- fmt.Errorf("plan chain: %v %v", res, err)
+					}
+				default: // auto-batched call
+					res, err := auto.Call("Echo", "echoSize", spi.F("data", payload))
+					if err != nil {
+						errs <- fmt.Errorf("auto: %w", err)
+						continue
+					}
+					if !spi.ValueEqual(res[0].Value, int64(len(payload))) {
+						errs <- fmt.Errorf("auto size: %v", res)
+					}
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(deadline):
+		t.Fatal("soak test deadlocked")
+	}
+	close(errs)
+	n := 0
+	for err := range errs {
+		if n < 10 {
+			t.Error(err)
+		}
+		n++
+	}
+	if n > 0 {
+		t.Fatalf("%d errors total", n)
+	}
+
+	st := env.Server.Stats()
+	if st.Requests < workers*opsEach {
+		t.Errorf("server executed %d requests, expected >= %d", st.Requests, workers*opsEach)
+	}
+	if st.Faults != 0 {
+		t.Errorf("server produced %d whole-message faults during clean soak", st.Faults)
+	}
+	// The travel suite remains usable afterwards.
+	if _, err := services.RunTravelAgent(env.Client, services.DefaultItinerary(), true); err != nil {
+		t.Errorf("travel agent after soak: %v", err)
+	}
+}
