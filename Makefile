@@ -1,0 +1,35 @@
+# SPI — SOAP Passing Interface. Stdlib-only; the go toolchain is the only
+# build dependency.
+
+GO ?= go
+
+.PHONY: check build vet test race bench figures
+
+## check: the full gate — build, vet, race-enabled tests.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## test: the tier-1 suite (what CI holds the line on).
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the paper's experiments as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+## figures: regenerate the paper's evaluation tables (EXPERIMENTS.md source).
+figures:
+	$(GO) run ./cmd/spibench
+	$(GO) run ./cmd/spibench -fig faults

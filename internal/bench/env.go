@@ -49,6 +49,12 @@ type EnvOptions struct {
 	// AdaptiveAppStage swaps the fixed application pool for the
 	// SEDA-controlled adaptive one (floor 2, ceiling AppWorkers).
 	AdaptiveAppStage bool
+	// Retry applies a client-side retry policy (nil: no retries), for the
+	// fault-injection experiment.
+	Retry *core.RetryPolicy
+	// AdmissionTimeout bounds application-stage queue admission on the
+	// server (zero: unbounded blocking submit).
+	AdmissionTimeout time.Duration
 }
 
 // Env is a running client/server pair over a simulated link.
@@ -62,7 +68,7 @@ type Env struct {
 
 // NewEnv builds and starts an environment.
 func NewEnv(opt EnvOptions) (*Env, error) {
-	if opt.Network == (netsim.Config{}) {
+	if opt.Network.IsZero() {
 		opt.Network = netsim.LAN100()
 	}
 	container := registry.NewContainer()
@@ -94,12 +100,14 @@ func NewEnv(opt EnvOptions) (*Env, error) {
 		Coupled:                     opt.Coupled,
 		DifferentialDeserialization: opt.DiffDeserialization,
 		AdaptiveAppStage:            opt.AdaptiveAppStage,
+		AdmissionTimeout:            opt.AdmissionTimeout,
 	}
 	ccfg := core.ClientConfig{
 		Dial:          env.Link.Dial,
 		KeepAlive:     opt.KeepAlive,
 		Timeout:       120 * time.Second,
 		TemplateCache: opt.TemplateCache,
+		Retry:         opt.Retry,
 	}
 	if opt.WSSecurity {
 		scfg.HeaderProcessors = []core.HeaderProcessor{&wsse.Verifier{

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultInjectionExperiment(t *testing.T) {
+	skipTiming(t)
+	r, err := RunFaultInjection(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	serialClean, serialFaulty := r.Rows[0].Millis, r.Rows[1].Millis
+	packedClean, packedFaulty := r.Rows[2].Millis, r.Rows[3].Millis
+	// Faults plus backoff must cost the serial baseline something.
+	if serialFaulty <= serialClean {
+		t.Errorf("faulty serial %.2fms should exceed clean serial %.2fms", serialFaulty, serialClean)
+	}
+	// The packed approach keeps its Figure-5-shaped advantage under faults.
+	if packedFaulty >= serialFaulty {
+		t.Errorf("packed under faults %.2fms should beat serial under faults %.2fms", packedFaulty, serialFaulty)
+	}
+	if packedClean >= serialClean {
+		t.Errorf("packed %.2fms should beat serial %.2fms on a clean link", packedClean, serialClean)
+	}
+	if !strings.Contains(r.Rows[1].Note, "retries") {
+		t.Errorf("faulty serial note = %q, want retry count", r.Rows[1].Note)
+	}
+}
+
+func TestDeadlineDegradationExperiment(t *testing.T) {
+	skipTiming(t)
+	r, err := RunDeadlineDegradation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(r.Rows))
+	}
+	// The run itself asserts the degradation semantics (fast entries all
+	// resolve, the slow entry faults with Server.Timeout); here we check
+	// the envelope came back around the budget, not after the slow op.
+	if ms := r.Rows[0].Millis; ms < 20 || ms > 200 {
+		t.Errorf("degraded round trip = %.2fms, want near the 40ms budget (not the 400ms op)", ms)
+	}
+	if !strings.Contains(r.Rows[0].Note, "degraded to Server.Timeout") {
+		t.Errorf("note = %q", r.Rows[0].Note)
+	}
+}

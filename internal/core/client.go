@@ -2,19 +2,29 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/metrics"
 	"repro/internal/msgcache"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
 	"repro/internal/wsdl"
 	"repro/internal/xmldom"
 )
+
+// HeaderDeadline is the HTTP request header that propagates the client's
+// remaining deadline budget to the server, in integer milliseconds. The
+// server derives the dispatch context's deadline from it (minus a grace
+// period so the degraded response still reaches the client in time).
+const HeaderDeadline = "SPI-Deadline"
 
 // HeaderProvider contributes header blocks to outgoing envelopes — the
 // client-side extension point WS-Security plugs into. body is the canonical
@@ -50,6 +60,18 @@ type ClientConfig struct {
 	// packing; ignored when HeaderProviders are set (headers vary per
 	// message).
 	TemplateCache bool
+
+	// CallTimeout bounds one logical Call/Go — all retry attempts and
+	// backoffs included — when the caller's context carries no deadline
+	// of its own. Zero means none.
+	CallTimeout time.Duration
+	// BatchTimeout is CallTimeout's analogue for Batch.Send and
+	// Plan.Send. Zero means none.
+	BatchTimeout time.Duration
+	// Retry, when non-nil, retries failed exchanges with backoff. See
+	// RetryPolicy for what is eligible; mark operations idempotent with
+	// Client.MarkIdempotent to widen it.
+	Retry *RetryPolicy
 }
 
 // ClientStats counts client-side traffic.
@@ -58,6 +80,10 @@ type ClientStats struct {
 	Envelopes int64 // SOAP messages sent
 	Batches   int64 // packed messages sent
 	Faults    int64 // calls that returned a fault
+	// Resilience counts retries and abandoned work: Retries are backoff
+	// re-sends, Timeouts are exchanges that died of deadline expiry,
+	// Cancellations are exchanges abandoned by explicit cancel.
+	Resilience metrics.ResilienceSummary
 }
 
 // Client issues SOAP calls, either one per message (Call/Go) or packed many
@@ -68,6 +94,7 @@ type Client struct {
 
 	mu         sync.RWMutex
 	namespaces map[string]string
+	idempotent map[string]bool // "Service.op" -> safe to re-send
 
 	templates *msgcache.Cache // nil unless TemplateCache
 
@@ -75,6 +102,7 @@ type Client struct {
 	envelopes atomic.Int64
 	batches   atomic.Int64
 	faults    atomic.Int64
+	resil     metrics.Resilience
 }
 
 // NewClient builds a client from the configuration.
@@ -97,6 +125,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			MaxBodyBytes: cfg.MaxBodyBytes,
 		},
 		namespaces: make(map[string]string),
+		idempotent: make(map[string]bool),
 	}
 	// The template cache renders SOAP 1.1 envelopes; it is disabled when
 	// headers vary per message or the client speaks SOAP 1.2.
@@ -121,10 +150,43 @@ func (c *Client) Close() { c.http.Close() }
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Calls:     c.calls.Load(),
-		Envelopes: c.envelopes.Load(),
-		Batches:   c.batches.Load(),
-		Faults:    c.faults.Load(),
+		Calls:      c.calls.Load(),
+		Envelopes:  c.envelopes.Load(),
+		Batches:    c.batches.Load(),
+		Faults:     c.faults.Load(),
+		Resilience: c.resil.Snapshot(),
+	}
+}
+
+// MarkIdempotent declares operations of a service safe to re-send even
+// when a previous attempt may have executed (reads, pure computations,
+// writes with client-supplied keys). The retry policy widens from
+// connect-only retries to transport-error retries for marked operations.
+func (c *Client) MarkIdempotent(service string, ops ...string) {
+	c.mu.Lock()
+	for _, op := range ops {
+		c.idempotent[service+"."+op] = true
+	}
+	c.mu.Unlock()
+}
+
+// isIdempotent reports whether Service.op was marked idempotent.
+func (c *Client) isIdempotent(service, op string) bool {
+	c.mu.RLock()
+	ok := c.idempotent[service+"."+op]
+	c.mu.RUnlock()
+	return ok
+}
+
+// noteOutcome feeds the resilience counters from a finished logical
+// call's error.
+func (c *Client) noteOutcome(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		c.resil.Timeouts.Inc()
+	case errors.Is(err, context.Canceled):
+		c.resil.Cancellations.Inc()
 	}
 }
 
@@ -177,7 +239,35 @@ func (c *Client) NamespaceOf(service string) string {
 // Call invokes one operation synchronously in its own SOAP message — the
 // traditional interface ("No Optimization" in the evaluation).
 func (c *Client) Call(service, op string, params ...soapenc.Field) ([]soapenc.Field, error) {
+	return c.CallCtx(context.Background(), service, op, params...)
+}
+
+// CallCtx is Call under a context: the deadline bounds the whole logical
+// call (every retry attempt and backoff included) and is propagated to
+// the server, and cancellation closes the in-flight connection. When ctx
+// carries no deadline, ClientConfig.CallTimeout supplies one.
+func (c *Client) CallCtx(ctx context.Context, service, op string, params ...soapenc.Field) ([]soapenc.Field, error) {
 	c.calls.Add(1)
+	if _, has := ctx.Deadline(); !has && c.cfg.CallTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
+		defer cancel()
+	}
+	var results []soapenc.Field
+	err := c.withRetry(ctx, c.isIdempotent(service, op), func() error {
+		r, rerr := c.callOnce(ctx, service, op, params)
+		results = r
+		return rerr
+	})
+	c.noteOutcome(err)
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// callOnce performs one attempt of a single-message call.
+func (c *Client) callOnce(ctx context.Context, service, op string, params []soapenc.Field) ([]soapenc.Field, error) {
 	target := c.cfg.PathPrefix + service
 
 	var respEnv *soap.Envelope
@@ -190,12 +280,12 @@ func (c *Client) Call(service, op string, params ...soapenc.Field) ([]soapenc.Fi
 			return nil, fmt.Errorf("core: template for %s.%s: %w", service, op, terr)
 		}
 		if ok {
-			respEnv, err = c.post(target, doc)
+			respEnv, err = c.post(ctx, target, doc)
 		} else {
-			respEnv, err = c.exchangeCall(target, service, op, params)
+			respEnv, err = c.exchangeCall(ctx, target, service, op, params)
 		}
 	} else {
-		respEnv, err = c.exchangeCall(target, service, op, params)
+		respEnv, err = c.exchangeCall(ctx, target, service, op, params)
 	}
 	if err != nil {
 		return nil, err
@@ -211,12 +301,12 @@ func (c *Client) Call(service, op string, params ...soapenc.Field) ([]soapenc.Fi
 }
 
 // exchangeCall serializes one RPC request through the DOM path.
-func (c *Client) exchangeCall(target, service, op string, params []soapenc.Field) (*soap.Envelope, error) {
+func (c *Client) exchangeCall(ctx context.Context, target, service, op string, params []soapenc.Field) (*soap.Envelope, error) {
 	reqEl, err := encodeRequestElement(c.NamespaceOf(service), op, params)
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
 	}
-	return c.exchange(target, []*xmldom.Element{reqEl})
+	return c.exchange(ctx, target, []*xmldom.Element{reqEl})
 }
 
 // Call is a pending invocation: a future resolved when its response (or
@@ -252,9 +342,14 @@ func (cl *Call) Wait() ([]soapenc.Field, error) {
 // Go invokes one operation asynchronously in its own SOAP message and
 // connection — the "Multiple Threads" baseline of the evaluation.
 func (c *Client) Go(service, op string, params ...soapenc.Field) *Call {
+	return c.GoCtx(context.Background(), service, op, params...)
+}
+
+// GoCtx is Go under a context (see CallCtx for its semantics).
+func (c *Client) GoCtx(ctx context.Context, service, op string, params ...soapenc.Field) *Call {
 	call := newCall(service, op)
 	go func() {
-		results, err := c.Call(service, op, params...)
+		results, err := c.CallCtx(ctx, service, op, params...)
 		call.resolve(results, err)
 	}()
 	return call
@@ -302,6 +397,17 @@ func (b *Batch) Len() int { return len(b.calls) }
 // and resolves all futures. It returns the first transport- or
 // message-level error; per-call faults are delivered through the futures.
 func (b *Batch) Send() error {
+	return b.SendCtx(context.Background())
+}
+
+// SendCtx is Send under a context. The deadline bounds the whole packed
+// exchange and travels to the server, which degrades gracefully: entries
+// it finishes in time return real results, unfinished entries come back
+// as per-item Server.Timeout faults on their futures. Cancelling ctx
+// closes the in-flight connection and resolves every future with the
+// context's error. When ctx carries no deadline,
+// ClientConfig.BatchTimeout supplies one.
+func (b *Batch) SendCtx(ctx context.Context) error {
 	if b.sent {
 		return fmt.Errorf("core: batch already sent")
 	}
@@ -313,10 +419,21 @@ func (b *Batch) Send() error {
 		b.resolveAll(nil, b.buildErr)
 		return b.buildErr
 	}
+	if _, has := ctx.Deadline(); !has && b.client.cfg.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.client.cfg.BatchTimeout)
+		defer cancel()
+	}
 
 	pm := buildPackedRequest(b.entries)
 	b.client.batches.Add(1)
-	respEnv, err := b.client.exchange(b.client.packTarget(), []*xmldom.Element{pm})
+	var respEnv *soap.Envelope
+	err := b.client.withRetry(ctx, b.allIdempotent(), func() error {
+		env, rerr := b.client.exchange(ctx, b.client.packTarget(), []*xmldom.Element{pm})
+		respEnv = env
+		return rerr
+	})
+	b.client.noteOutcome(err)
 	if err != nil {
 		b.resolveAll(nil, err)
 		return err
@@ -344,6 +461,9 @@ func (b *Batch) Send() error {
 			call.resolve(nil, fmt.Errorf("core: no response for packed call %d (%s.%s)", id, call.Service, call.Op))
 		case res.fault != nil:
 			b.client.faults.Add(1)
+			if res.fault.Code == FaultCodeTimeout {
+				b.client.resil.Timeouts.Inc()
+			}
 			call.resolve(nil, res.fault)
 		default:
 			call.resolve(res.results, nil)
@@ -356,6 +476,18 @@ func (b *Batch) resolveAll(results []soapenc.Field, err error) {
 	for _, call := range b.calls {
 		call.resolve(results, err)
 	}
+}
+
+// allIdempotent reports whether every entry's operation was marked
+// idempotent — the condition for retrying a packed message after a
+// transport failure that may have executed it.
+func (b *Batch) allIdempotent() bool {
+	for _, call := range b.calls {
+		if !b.client.isIdempotent(call.Service, call.Op) {
+			return false
+		}
+	}
+	return true
 }
 
 // packTarget is the URL packed messages are POSTed to: the bare services
@@ -373,7 +505,7 @@ func (c *Client) version() soap.Version {
 }
 
 // exchange performs one envelope round trip.
-func (c *Client) exchange(target string, body []*xmldom.Element) (*soap.Envelope, error) {
+func (c *Client) exchange(ctx context.Context, target string, body []*xmldom.Element) (*soap.Envelope, error) {
 	env := soap.New()
 	env.Version = c.version()
 	env.Body = body
@@ -391,13 +523,21 @@ func (c *Client) exchange(target string, body []*xmldom.Element) (*soap.Envelope
 	if err := env.Encode(&buf); err != nil {
 		return nil, fmt.Errorf("core: encoding envelope: %w", err)
 	}
-	return c.post(target, buf.Bytes())
+	return c.post(ctx, target, buf.Bytes())
 }
 
-// post ships a fully-serialized envelope and decodes the reply.
-func (c *Client) post(target string, doc []byte) (*soap.Envelope, error) {
+// post ships a fully-serialized envelope and decodes the reply. A context
+// deadline rides along as the SPI-Deadline header (remaining budget in
+// milliseconds) so the server dispatches under the same clock.
+func (c *Client) post(ctx context.Context, target string, doc []byte) (*soap.Envelope, error) {
 	c.envelopes.Add(1)
-	resp, err := c.http.Post(target, c.version().ContentType(), doc, "SOAPAction", `""`)
+	extra := []string{"SOAPAction", `""`}
+	if deadline, ok := ctx.Deadline(); ok {
+		if budget := time.Until(deadline); budget > 0 {
+			extra = append(extra, HeaderDeadline, strconv.FormatInt(budget.Milliseconds(), 10))
+		}
+	}
+	resp, err := c.http.PostCtx(ctx, target, c.version().ContentType(), doc, extra...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -291,7 +292,7 @@ func TestSingleRequestOnPackEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := sys.client.exchange(sys.client.packTarget(), []*xmldom.Element{reqEl})
+	env, err := sys.client.exchange(context.Background(), sys.client.packTarget(), []*xmldom.Element{reqEl})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -126,6 +127,14 @@ func (p *Plan) Len() int { return len(p.steps) }
 // Send ships the plan in one SOAP message, waits for the packed response
 // and resolves every step future.
 func (p *Plan) Send() error {
+	return p.SendCtx(context.Background())
+}
+
+// SendCtx is Send under a context, with the semantics of Batch.SendCtx:
+// the deadline travels to the server, steps the server finishes in time
+// return real results, and unfinished steps degrade to per-item
+// Server.Timeout faults.
+func (p *Plan) SendCtx(ctx context.Context) error {
 	if p.sent {
 		return fmt.Errorf("core: plan already sent")
 	}
@@ -142,6 +151,11 @@ func (p *Plan) Send() error {
 		resolveAll(p.buildErr)
 		return p.buildErr
 	}
+	if _, has := ctx.Deadline(); !has && p.client.cfg.BatchTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.client.cfg.BatchTimeout)
+		defer cancel()
+	}
 
 	body, err := p.encode()
 	if err != nil {
@@ -149,7 +163,8 @@ func (p *Plan) Send() error {
 		return err
 	}
 	p.client.batches.Add(1)
-	respEnv, err := p.client.exchange(p.client.packTarget(), []*xmldom.Element{body})
+	respEnv, err := p.client.exchange(ctx, p.client.packTarget(), []*xmldom.Element{body})
+	p.client.noteOutcome(err)
 	if err != nil {
 		resolveAll(err)
 		return err
@@ -232,8 +247,11 @@ type planDep struct {
 }
 
 // dispatchPlan executes an Execution_Plan body entry: steps scheduled on
-// the application stage as their dependencies resolve.
-func (s *Server) dispatchPlan(plan *xmldom.Element, ctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+// the application stage as their dependencies resolve. When ctx's deadline
+// fires before the plan drains, the assembled response degrades: finished
+// steps keep their results and unfinished ones become per-item
+// Server.Timeout faults, like a packed message.
+func (s *Server) dispatchPlan(ctx context.Context, plan *xmldom.Element, rctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
 	entries := plan.ChildElements()
 	if len(entries) == 0 {
 		return nil, soap.ClientFault("%s has no steps", ElemExecutionPlan)
@@ -298,8 +316,10 @@ func (s *Server) dispatchPlan(plan *xmldom.Element, ctx *registry.Context, defau
 		var res *rpcResult
 		if fault != nil {
 			res = &rpcResult{id: node.req.id, service: node.req.service, op: node.req.op, fault: fault}
+		} else if ctx.Err() != nil {
+			res = s.abandonResult(ctx, node.req)
 		} else {
-			res = s.execute(node.req, ctx)
+			res = s.execute(ctx, node.req, rctx)
 		}
 
 		mu.Lock()
@@ -354,19 +374,41 @@ func (s *Server) dispatchPlan(plan *xmldom.Element, ctx *registry.Context, defau
 	for _, idx := range roots {
 		schedule(idx)
 	}
-	wg.Wait()
+	if ctx.Done() == nil {
+		wg.Wait()
+	} else {
+		waited := make(chan struct{})
+		go func() { wg.Wait(); close(waited) }()
+		select {
+		case <-waited:
+		case <-ctx.Done():
+		}
+	}
 
-	for _, r := range results {
-		if r != nil && r.fault != nil {
+	// Snapshot under the lock: abandoned workers may still be writing the
+	// original slice; the response is assembled from this copy, with
+	// unfinished slots degraded to per-item faults.
+	mu.Lock()
+	final := make([]*rpcResult, len(results))
+	copy(final, results)
+	mu.Unlock()
+	for i, r := range final {
+		if r == nil {
+			final[i] = s.abandonResult(ctx, nodes[i].req)
+		}
+	}
+
+	for _, r := range final {
+		if r.fault != nil {
 			s.itemFaults.Add(1)
 		}
 	}
-	respEl, err := buildPackedResponse(results, s.namespaceOf)
+	respEl, err := buildPackedResponse(final, s.namespaceOf)
 	if err != nil {
 		return nil, soap.ServerFault("assembling plan response: %v", err)
 	}
 	out := soap.New()
-	out.Header = ctx.ResponseHeaders()
+	out.Header = rctx.ResponseHeaders()
 	out.AddBody(respEl)
 	return out, nil
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/registry"
 	"repro/internal/soap"
+	"repro/internal/soapenc"
 	"repro/internal/stage"
 	"repro/internal/wsdl"
 	"repro/internal/xmldom"
@@ -84,6 +87,22 @@ type ServerConfig struct {
 	DifferentialDeserialization bool
 	// DiffCacheSize bounds the differential cache (default 256 messages).
 	DiffCacheSize int
+
+	// AdmissionTimeout bounds how long a request waits for space in the
+	// application-stage queue before being shed with a Server.Busy fault
+	// (per item for packed messages). Zero preserves the unbounded
+	// blocking submit.
+	AdmissionTimeout time.Duration
+	// OperationTimeout bounds each operation execution. An operation
+	// that overruns returns a Server.Timeout fault (per item in packed
+	// responses); its handler keeps running detached until it observes
+	// HandlerContext.Ctx and should abort then.
+	OperationTimeout time.Duration
+	// DeadlineGrace is subtracted from the client-propagated deadline
+	// budget (SPI-Deadline header) so a degraded response is assembled
+	// and shipped before the client itself gives up. Zero means
+	// one fifth of the budget, capped at 100ms.
+	DeadlineGrace time.Duration
 }
 
 // ServerStats counts server-side work, for experiments.
@@ -96,6 +115,10 @@ type ServerStats struct {
 	DiffHits       int64 // differential-deserialization cache hits
 	DiffMisses     int64 // differential-deserialization cache misses
 	AppStage       stage.Stats
+
+	// Resilience counts timeouts, cancellations and shed admissions
+	// observed by the server's guards.
+	Resilience metrics.ResilienceSummary
 
 	// Protocol-thread phase timings per envelope.
 	ParsePhase    metrics.Summary
@@ -123,6 +146,7 @@ type Server struct {
 	packed     atomic.Int64
 	faults     atomic.Int64
 	itemFaults atomic.Int64
+	resil      metrics.Resilience
 
 	// Per-phase protocol-thread timings, for the overhead-breakdown
 	// experiment: SOAP parse, dispatch+execute, response encode.
@@ -230,6 +254,7 @@ func (s *Server) Stats() ServerStats {
 	if s.diff != nil {
 		st.DiffHits, st.DiffMisses = s.diff.stats()
 	}
+	st.Resilience = s.resil.Snapshot()
 	st.ParsePhase = s.phaseParse.Snapshot()
 	st.DispatchPhase = s.phaseDispatch.Snapshot()
 	st.EncodePhase = s.phaseEncode.Snapshot()
@@ -261,8 +286,11 @@ func (s *Server) recordOp(service, op string, d time.Duration) {
 }
 
 // handle is the protocol-stage entry point: it runs on the connection's
-// goroutine (the paper's protocol-processing thread).
-func (s *Server) handle(req *httpx.Request) *httpx.Response {
+// goroutine (the paper's protocol-processing thread). ctx is the
+// transport's request context: cancelled when the client disconnects or
+// the server shuts down, further bounded here by any SPI-Deadline budget
+// the client propagated.
+func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response {
 	if s.protSem != nil {
 		s.protSem <- struct{}{}
 		defer func() { <-s.protSem }()
@@ -306,9 +334,28 @@ func (s *Server) handle(req *httpx.Request) *httpx.Response {
 		return s.faultResponse(fault, env.Version)
 	}
 
+	// Apply the client's propagated deadline budget, shortened by the
+	// grace period so a degraded (partial) response still reaches the
+	// client before its own deadline fires.
+	if budget := deadlineBudget(req); budget > 0 {
+		grace := s.cfg.DeadlineGrace
+		if grace <= 0 {
+			grace = budget / 5
+			if grace > 100*time.Millisecond {
+				grace = 100 * time.Millisecond
+			}
+		}
+		if budget > grace {
+			budget -= grace
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
+
 	dispatchStart := time.Now()
 	dispatcher := func(env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
-		return s.dispatch(env, defaultService)
+		return s.dispatch(ctx, env, defaultService)
 	}
 	if len(s.cfg.Interceptors) > 0 {
 		info := &RequestInfo{Target: req.Target, DefaultService: defaultService, Version: env.Version}
@@ -443,28 +490,84 @@ func canonicalBody(env *soap.Envelope) []byte {
 	return buf.Bytes()
 }
 
+// deadlineBudget parses the SPI-Deadline header: the client's remaining
+// deadline budget in integer milliseconds. Zero means no budget was
+// propagated (or it was malformed, which is treated as absent).
+func deadlineBudget(req *httpx.Request) time.Duration {
+	v := req.Header.Get(HeaderDeadline)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
 // dispatch interprets the body and executes the request(s). This is the
 // server-side dispatcher of §3.5 plus the assembler of §3.4.
-func (s *Server) dispatch(env *soap.Envelope, defaultService string) (*soap.Envelope, *soap.Fault) {
+func (s *Server) dispatch(ctx context.Context, env *soap.Envelope, defaultService string) (*soap.Envelope, *soap.Fault) {
 	if len(env.Body) != 1 {
 		return nil, soap.ClientFault("expected exactly one body entry, got %d", len(env.Body))
 	}
 	entry := env.Body[0]
 
-	ctx := &registry.Context{RequestHeaders: env.Header}
+	rctx := &registry.Context{Ctx: ctx, RequestHeaders: env.Header}
 
 	if isPackedRequest(entry) {
 		s.packed.Add(1)
-		return s.dispatchPacked(entry, ctx, defaultService)
+		return s.dispatchPacked(ctx, entry, rctx, defaultService)
 	}
 	if isPlanBody(entry) {
-		return s.dispatchPlan(entry, ctx, defaultService)
+		return s.dispatchPlan(ctx, entry, rctx, defaultService)
 	}
-	return s.dispatchSingle(entry, ctx, defaultService)
+	return s.dispatchSingle(ctx, entry, rctx, defaultService)
+}
+
+// submitApp enqueues one application-stage task, applying the admission
+// timeout when configured. With no timeout the submit blocks until queue
+// space frees (the seed behaviour).
+func (s *Server) submitApp(task stage.Task) error {
+	if s.cfg.AdmissionTimeout > 0 {
+		return s.appPool.SubmitTimeout(task, s.cfg.AdmissionTimeout)
+	}
+	return s.appPool.Submit(task)
+}
+
+// admissionFault maps a failed submit to a fault: a full queue past the
+// admission timeout is shed with Server.Busy (retryable — the operation
+// never started); anything else is a plain server fault.
+func (s *Server) admissionFault(err error) *soap.Fault {
+	if errors.Is(err, stage.ErrQueueFull) {
+		s.resil.Shed.Inc()
+		return &soap.Fault{Code: FaultCodeBusy,
+			String: fmt.Sprintf("application stage queue full after %v admission wait", s.cfg.AdmissionTimeout)}
+	}
+	return soap.ServerFault("application stage unavailable: %v", err)
+}
+
+// abandonResult fabricates the per-item fault for work the protocol thread
+// stopped waiting on: Server.Timeout when the envelope deadline expired,
+// Server.Cancelled when the caller went away. The worker (if it started)
+// keeps running detached; its handler sees the cancelled Context and
+// should abort.
+func (s *Server) abandonResult(ctx context.Context, req *rpcRequest) *rpcResult {
+	res := &rpcResult{id: req.id, service: req.service, op: req.op}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.resil.Timeouts.Inc()
+		res.fault = &soap.Fault{Code: FaultCodeTimeout,
+			String: fmt.Sprintf("deadline expired before %s.%s finished", req.service, req.op)}
+	} else {
+		s.resil.Cancellations.Inc()
+		res.fault = &soap.Fault{Code: FaultCodeCancelled,
+			String: fmt.Sprintf("caller cancelled before %s.%s finished", req.service, req.op)}
+	}
+	return res
 }
 
 // dispatchSingle executes a traditional one-request envelope.
-func (s *Server) dispatchSingle(entry *xmldom.Element, ctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+func (s *Server) dispatchSingle(ctx context.Context, entry *xmldom.Element, rctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
 	service := defaultService
 	if service == "" {
 		// Pack endpoint used for a plain request: resolve by namespace.
@@ -479,15 +582,20 @@ func (s *Server) dispatchSingle(entry *xmldom.Element, ctx *registry.Context, de
 	var res *rpcResult
 	if s.cfg.Coupled || s.appPool == nil {
 		// Traditional coupled architecture: execute on the protocol thread.
-		res = s.execute(req, ctx)
+		res = s.execute(ctx, req, rctx)
 	} else {
 		// Staged architecture: even a single request runs on the
-		// application stage; the protocol thread sleeps until it is done.
-		var barrier stage.Barrier
-		if err := barrier.Go(s.appPool, func() { res = s.execute(req, ctx) }); err != nil {
-			return nil, soap.ServerFault("application stage unavailable: %v", err)
+		// application stage; the protocol thread sleeps until it is done
+		// or the request's deadline fires.
+		done := make(chan *rpcResult, 1)
+		if err := s.submitApp(func() { done <- s.execute(ctx, req, rctx) }); err != nil {
+			return nil, s.admissionFault(err)
 		}
-		barrier.Wait()
+		select {
+		case res = <-done:
+		case <-ctx.Done():
+			res = s.abandonResult(ctx, req)
+		}
 	}
 	if res.fault != nil {
 		return nil, res.fault
@@ -498,44 +606,86 @@ func (s *Server) dispatchSingle(entry *xmldom.Element, ctx *registry.Context, de
 		return nil, soap.ServerFault("encoding response: %v", err)
 	}
 	out := soap.New()
-	out.Header = ctx.ResponseHeaders()
+	out.Header = rctx.ResponseHeaders()
 	out.AddBody(respEl)
 	return out, nil
 }
 
+// packedDone carries one finished execution back to the protocol thread
+// with the slot it belongs to in the response.
+type packedDone struct {
+	slot int
+	res  *rpcResult
+}
+
 // dispatchPacked fans a Parallel_Method message out to the application
-// stage and assembles the packed response. The protocol goroutine sleeps in
-// Barrier.Wait until the last worker finishes — the sleep/wake handoff of
-// §3.3.
-func (s *Server) dispatchPacked(pm *xmldom.Element, ctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+// stage and assembles the packed response. The protocol goroutine sleeps
+// until the last worker finishes — the sleep/wake handoff of §3.3 — or
+// until the envelope's deadline fires, in which case it degrades: slots
+// whose work has not completed become per-item Server.Timeout faults while
+// completed companions keep their real results. The done channel is
+// buffered to len(entries) so abandoned workers complete their sends
+// harmlessly after the protocol thread has moved on.
+func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
 	entries := pm.ChildElements()
 	if len(entries) == 0 {
 		return nil, soap.ClientFault("%s has no requests", ElemParallelMethod)
 	}
 
 	results := make([]*rpcResult, len(entries))
-	var barrier stage.Barrier
+	reqs := make([]*rpcRequest, len(entries))
+	done := make(chan packedDone, len(entries))
+	pending := 0
 	for i, el := range entries {
 		req, fault := decodeRequestElement(el, defaultService, i)
 		if fault != nil {
 			results[i] = &rpcResult{id: i, fault: fault}
 			continue
 		}
-		idx := i
-		run := func() {
-			results[idx] = s.execute(req, ctx)
-		}
+		reqs[i] = req
 		if s.cfg.Coupled || s.appPool == nil {
-			// Traditional architecture: execute serially on this thread.
-			run()
+			// Traditional architecture: execute serially on this thread,
+			// degrading the remainder once the deadline has passed.
+			if ctx.Err() != nil {
+				results[i] = s.abandonResult(ctx, req)
+				continue
+			}
+			results[i] = s.execute(ctx, req, rctx)
 			continue
 		}
-		if err := barrier.Go(s.appPool, run); err != nil {
-			results[i] = &rpcResult{id: req.id, service: req.service, op: req.op,
-				fault: soap.ServerFault("application stage unavailable: %v", err)}
+		slot, r := i, req
+		if err := s.submitApp(func() { done <- packedDone{slot, s.execute(ctx, r, rctx)} }); err != nil {
+			fault := s.admissionFault(err)
+			results[i] = &rpcResult{id: req.id, service: req.service, op: req.op, fault: fault}
+			continue
+		}
+		pending++
+	}
+	for pending > 0 {
+		select {
+		case d := <-done:
+			results[d.slot] = d.res
+			pending--
+		case <-ctx.Done():
+			// Degrade: take whatever has already completed, then turn the
+			// unfinished slots into per-item deadline faults.
+			for drained := false; !drained; {
+				select {
+				case d := <-done:
+					results[d.slot] = d.res
+					pending--
+				default:
+					drained = true
+				}
+			}
+			for i, r := range results {
+				if r == nil {
+					results[i] = s.abandonResult(ctx, reqs[i])
+				}
+			}
+			pending = 0
 		}
 	}
-	barrier.Wait()
 
 	for _, r := range results {
 		if r.fault != nil {
@@ -547,14 +697,18 @@ func (s *Server) dispatchPacked(pm *xmldom.Element, ctx *registry.Context, defau
 		return nil, soap.ServerFault("assembling packed response: %v", err)
 	}
 	out := soap.New()
-	out.Header = ctx.ResponseHeaders()
+	out.Header = rctx.ResponseHeaders()
 	out.AddBody(respEl)
 	return out, nil
 }
 
 // execute resolves and invokes one operation. In staged mode it is called
 // on an application-stage worker; in coupled mode on the protocol thread.
-func (s *Server) execute(req *rpcRequest, ctx *registry.Context) *rpcResult {
+// The handler receives ctx (bounded by OperationTimeout when configured)
+// through registry.Context.Ctx; when the watchdog fires the result is a
+// Server.Timeout fault and the handler runs detached until it observes the
+// cancellation.
+func (s *Server) execute(ctx context.Context, req *rpcRequest, rctx *registry.Context) *rpcResult {
 	res := &rpcResult{id: req.id, service: req.service, op: req.op}
 	op, fault := s.cfg.Container.Lookup(req.service, req.op)
 	if fault != nil {
@@ -562,21 +716,82 @@ func (s *Server) execute(req *rpcRequest, ctx *registry.Context) *rpcResult {
 		return res
 	}
 	s.requests.Add(1)
+	opCtx := ctx
+	var cancel context.CancelFunc
+	if d := s.cfg.OperationTimeout; d > 0 {
+		opCtx, cancel = context.WithTimeout(ctx, d)
+	}
 	invCtx := &registry.Context{
+		Ctx:            opCtx,
 		Service:        req.service,
 		Operation:      req.op,
-		RequestHeaders: ctx.RequestHeaders,
+		RequestHeaders: rctx.RequestHeaders,
 	}
 	execStart := time.Now()
-	results, fault := registry.Invoke(op, invCtx, req.params)
-	s.recordOp(req.service, req.op, time.Since(execStart))
+	if cancel == nil {
+		// No per-operation deadline: invoke inline.
+		results, fault := registry.Invoke(op, invCtx, req.params)
+		s.recordOp(req.service, req.op, time.Since(execStart))
+		return s.finishExecute(res, rctx, invCtx, results, fault)
+	}
+	// Per-operation watchdog: invoke on a helper goroutine so an
+	// overrunning handler cannot hold this worker past its deadline.
+	type outcome struct {
+		results []soapenc.Field
+		fault   *soap.Fault
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, f := registry.Invoke(op, invCtx, req.params)
+		ch <- outcome{r, f}
+	}()
+	select {
+	case o := <-ch:
+		cancel()
+		s.recordOp(req.service, req.op, time.Since(execStart))
+		return s.finishExecute(res, rctx, invCtx, o.results, o.fault)
+	case <-opCtx.Done():
+		cancel()
+		s.recordOp(req.service, req.op, time.Since(execStart))
+		if errors.Is(ctx.Err(), context.Canceled) {
+			s.resil.Cancellations.Inc()
+			res.fault = &soap.Fault{Code: FaultCodeCancelled,
+				String: fmt.Sprintf("caller cancelled %s.%s", req.service, req.op)}
+		} else {
+			s.resil.Timeouts.Inc()
+			res.fault = &soap.Fault{Code: FaultCodeTimeout,
+				String: fmt.Sprintf("operation %s.%s exceeded its deadline", req.service, req.op)}
+		}
+		return res
+	}
+}
+
+// finishExecute folds an invocation outcome into the rpc result and
+// propagates any response headers the handler contributed. A generic
+// Server fault from a handler whose context had already expired is
+// reclassified as the matching deadline/cancel fault — the handler aborted
+// because we told it to, and the client should see that, not an opaque
+// "context deadline exceeded".
+func (s *Server) finishExecute(res *rpcResult, rctx, invCtx *registry.Context, results []soapenc.Field, fault *soap.Fault) *rpcResult {
 	if fault != nil {
+		if fault.Code == soap.FaultServer {
+			switch invCtx.Context().Err() {
+			case context.DeadlineExceeded:
+				s.resil.Timeouts.Inc()
+				fault = &soap.Fault{Code: FaultCodeTimeout,
+					String: fmt.Sprintf("deadline expired before %s.%s finished", res.service, res.op)}
+			case context.Canceled:
+				s.resil.Cancellations.Inc()
+				fault = &soap.Fault{Code: FaultCodeCancelled,
+					String: fmt.Sprintf("caller cancelled before %s.%s finished", res.service, res.op)}
+			}
+		}
 		res.fault = fault
 		return res
 	}
 	res.results = results
 	for _, h := range invCtx.ResponseHeaders() {
-		ctx.AddResponseHeader(h)
+		rctx.AddResponseHeader(h)
 	}
 	return res
 }

@@ -2,6 +2,7 @@ package httpx
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +13,21 @@ import (
 // Dialer opens a new connection to the server. It abstracts over real TCP
 // and the simulated link of package netsim.
 type Dialer func() (net.Conn, error)
+
+// DialError wraps a connection-establishment failure. Because the request
+// was never written when dialing failed, a DialError is always safe to
+// retry regardless of the operation's idempotency — the distinction the
+// client retry policy keys on.
+type DialError struct {
+	// Err is the underlying dial failure.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *DialError) Error() string { return "httpx: dial: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *DialError) Unwrap() error { return e.Err }
 
 // Client issues HTTP requests over connections produced by Dial.
 //
@@ -48,16 +64,28 @@ var errClientClosed = errors.New("httpx: client closed")
 // Do sends the request and returns the response. It retries once on a
 // stale pooled connection (the server may have closed it between requests).
 func (c *Client) Do(req *Request) (*Response, error) {
+	return c.DoCtx(context.Background(), req)
+}
+
+// DoCtx is Do under a context: the context's deadline bounds the exchange
+// (combined with Timeout, whichever is sooner) and cancelling it closes
+// the in-flight connection, unblocking the exchange immediately. Dialing
+// itself is not interruptible — the Dialer signature predates contexts —
+// but both simulated and loopback dials complete in microseconds.
+func (c *Client) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 	if c.Dial == nil {
 		return nil, errors.New("httpx: client has no Dial")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("httpx: %w", err)
 	}
 	reused := false
 	pc, err := c.getConn(&reused)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.roundTrip(pc, req)
-	if err != nil && reused {
+	resp, err := c.roundTrip(ctx, pc, req)
+	if err != nil && reused && ctx.Err() == nil {
 		// Stale keep-alive connection: retry once on a fresh one.
 		pc.conn.Close()
 		reused = false
@@ -65,10 +93,15 @@ func (c *Client) Do(req *Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err = c.roundTrip(pc, req)
+		resp, err = c.roundTrip(ctx, pc, req)
 	}
 	if err != nil {
 		pc.conn.Close()
+		// The raw conn error after a cancel/expiry is incidental; report
+		// the context's own error so callers classify it correctly.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("httpx: exchange aborted: %w", cerr)
+		}
 		return nil, err
 	}
 
@@ -80,9 +113,34 @@ func (c *Client) Do(req *Request) (*Response, error) {
 	return resp, nil
 }
 
-func (c *Client) roundTrip(pc *persistConn, req *Request) (*Response, error) {
+func (c *Client) roundTrip(ctx context.Context, pc *persistConn, req *Request) (*Response, error) {
+	deadline := time.Time{}
 	if c.Timeout > 0 {
-		_ = pc.conn.SetDeadline(time.Now().Add(c.Timeout))
+		deadline = time.Now().Add(c.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	if !deadline.IsZero() {
+		_ = pc.conn.SetDeadline(deadline)
+	}
+	if ctx.Done() != nil {
+		// Cancellation watcher: closing the connection is the only way to
+		// unblock a Write/Read already in progress.
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-ctx.Done():
+				pc.conn.Close()
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-watcherDone
+		}()
 	}
 	if err := WriteRequest(pc.conn, req, !c.KeepAlive); err != nil {
 		return nil, fmt.Errorf("httpx: write request: %w", err)
@@ -110,7 +168,7 @@ func (c *Client) getConn(reused *bool) (*persistConn, error) {
 	c.mu.Unlock()
 	conn, err := c.Dial()
 	if err != nil {
-		return nil, fmt.Errorf("httpx: dial: %w", err)
+		return nil, &DialError{Err: err}
 	}
 	return &persistConn{conn: conn, br: bufio.NewReaderSize(conn, 16<<10)}, nil
 }
@@ -144,6 +202,11 @@ func (c *Client) Close() {
 // Post is a convenience for POSTing a body with a content type, the only
 // verb SOAP uses.
 func (c *Client) Post(target, contentType string, body []byte, extra ...string) (*Response, error) {
+	return c.PostCtx(context.Background(), target, contentType, body, extra...)
+}
+
+// PostCtx is Post under a context (see DoCtx for its semantics).
+func (c *Client) PostCtx(ctx context.Context, target, contentType string, body []byte, extra ...string) (*Response, error) {
 	if len(extra)%2 != 0 {
 		return nil, errors.New("httpx: Post extra headers must be name/value pairs")
 	}
@@ -152,5 +215,5 @@ func (c *Client) Post(target, contentType string, body []byte, extra ...string) 
 	for i := 0; i+1 < len(extra); i += 2 {
 		req.Header.Set(extra[i], extra[i+1])
 	}
-	return c.Do(req)
+	return c.DoCtx(ctx, req)
 }

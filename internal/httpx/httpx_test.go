@@ -3,6 +3,7 @@ package httpx
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -180,7 +181,7 @@ func tcpClient(addr string, keepAlive bool) *Client {
 	}
 }
 
-func echoHandler(req *Request) *Response {
+func echoHandler(_ context.Context, req *Request) *Response {
 	resp := NewResponse(200, req.Body)
 	resp.Header.Set("Content-Type", req.Header.Get("Content-Type"))
 	return resp
@@ -255,7 +256,7 @@ func TestClientNoKeepAliveDialsPerRequest(t *testing.T) {
 }
 
 func TestServerHandlesConcurrentConnections(t *testing.T) {
-	addr, _ := startServer(t, func(req *Request) *Response {
+	addr, _ := startServer(t, func(_ context.Context, req *Request) *Response {
 		time.Sleep(10 * time.Millisecond)
 		return NewResponse(200, req.Body)
 	})
@@ -285,7 +286,7 @@ func TestServerHandlesConcurrentConnections(t *testing.T) {
 }
 
 func TestServerPanicBecomes500(t *testing.T) {
-	addr, _ := startServer(t, func(req *Request) *Response {
+	addr, _ := startServer(t, func(_ context.Context, req *Request) *Response {
 		panic("boom")
 	})
 	c := tcpClient(addr, false)
@@ -341,7 +342,7 @@ func TestServerClose(t *testing.T) {
 func TestClientRetryOnStaleConnection(t *testing.T) {
 	// Server that closes every connection after one response, while the
 	// client believes keep-alive is in effect.
-	addr, _ := startServer(t, func(req *Request) *Response {
+	addr, _ := startServer(t, func(_ context.Context, req *Request) *Response {
 		resp := NewResponse(200, []byte("ok"))
 		resp.Header.Set("Connection", "close")
 		return resp
@@ -390,7 +391,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 	release := make(chan struct{})
 	started := make(chan struct{}, 1)
-	srv := &Server{Handler: func(req *Request) *Response {
+	srv := &Server{Handler: func(_ context.Context, req *Request) *Response {
 		started <- struct{}{}
 		<-release
 		return NewResponse(200, []byte("drained"))
@@ -440,7 +441,7 @@ func TestShutdownTimeoutForcesClose(t *testing.T) {
 	}
 	hang := make(chan struct{})
 	started := make(chan struct{}, 1)
-	srv := &Server{Handler: func(req *Request) *Response {
+	srv := &Server{Handler: func(_ context.Context, req *Request) *Response {
 		started <- struct{}{}
 		<-hang
 		return NewResponse(200, nil)

@@ -2,10 +2,12 @@ package httpx
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -15,7 +17,15 @@ import (
 // processing thread" — so a handler that fans work out to other goroutines
 // (as the SPI server does) blocks here until the response is assembled,
 // exactly mirroring the sleep/wake protocol-thread behaviour of §3.3.
-type Handler func(req *Request) *Response
+//
+// ctx is cancelled when the server shuts down, and — on connections that
+// will close after this exchange (Connection: close, the paper's
+// dial-per-message mode) — when the peer disconnects mid-exchange, so a
+// handler fanning work out can stop early once nobody is left to read the
+// response. On keep-alive connections peer disconnection cannot be
+// observed without stealing bytes from the next request, so there ctx only
+// reflects server shutdown.
+type Handler func(ctx context.Context, req *Request) *Response
 
 // Server serves HTTP/1.1 connections from a listener.
 type Server struct {
@@ -45,6 +55,8 @@ type Server struct {
 	closed   bool
 	draining bool
 	wg       sync.WaitGroup
+	baseCtx  context.Context // cancelled on Close; parent of handler contexts
+	baseStop context.CancelFunc
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -63,6 +75,9 @@ func (s *Server) Serve(l net.Listener) error {
 	s.listener = l
 	if s.conns == nil {
 		s.conns = make(map[net.Conn]struct{})
+	}
+	if s.baseCtx == nil {
+		s.baseCtx, s.baseStop = context.WithCancel(context.Background())
 	}
 	s.mu.Unlock()
 
@@ -139,10 +154,14 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	l := s.listener
+	stop := s.baseStop
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
 	var err error
 	if l != nil {
 		err = l.Close()
@@ -189,9 +208,35 @@ func (s *Server) serveConn(conn net.Conn) {
 		start := time.Now()
 		s.mu.Lock()
 		s.active++
+		baseCtx := s.baseCtx
 		s.mu.Unlock()
+		if baseCtx == nil {
+			baseCtx = context.Background()
+		}
 
-		resp := s.callHandler(req)
+		// On a connection that closes after this exchange no further
+		// request bytes are expected, so a background read can detect the
+		// peer abandoning the exchange and cancel the handler's context —
+		// "the client gave up" propagated into the dispatcher.
+		reqCtx := baseCtx
+		willClose := s.DisableKeepAlive || wantsClose(req.Proto, &req.Header)
+		var cancelReq context.CancelFunc
+		if willClose {
+			reqCtx, cancelReq = context.WithCancel(baseCtx)
+			_ = conn.SetReadDeadline(time.Time{})
+			go func(cancel context.CancelFunc) {
+				// Peek blocks until the peer sends (unexpected) data,
+				// disconnects, or the connection is closed after the
+				// response is written; only a disconnect-style error
+				// cancels. The goroutine exits when the deferred
+				// conn.Close runs at the end of this exchange.
+				if _, err := br.Peek(1); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
+					cancel()
+				}
+			}(cancelReq)
+		}
+
+		resp := s.callHandler(reqCtx, req)
 		if resp == nil {
 			resp = NewResponse(500, []byte("nil response\n"))
 		}
@@ -199,7 +244,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
-		closeAfter := s.DisableKeepAlive || draining || wantsClose(req.Proto, &req.Header)
+		closeAfter := willClose || draining
 		if s.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
@@ -219,6 +264,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.AccessLog != nil {
 			s.AccessLog(conn.RemoteAddr(), req, resp.StatusCode, time.Since(start))
 		}
+		if cancelReq != nil {
+			cancelReq()
+		}
 		if werr != nil || closeAfter {
 			return
 		}
@@ -227,12 +275,12 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // callHandler invokes the handler, converting a panic into a 500 so one bad
 // request cannot take the connection goroutine (and with it the server) down.
-func (s *Server) callHandler(req *Request) (resp *Response) {
+func (s *Server) callHandler(ctx context.Context, req *Request) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = NewResponse(500, []byte(fmt.Sprintf("handler panic: %v\n", r)))
 			resp.Header.Set("Content-Type", "text/plain")
 		}
 	}()
-	return s.Handler(req)
+	return s.Handler(ctx, req)
 }

@@ -1,15 +1,79 @@
 // Package metrics provides the latency bookkeeping the experiment harness
 // uses: duration recorders with summary statistics, matching the
 // measurements the paper reports (run time in milliseconds per
-// configuration, averaged over repeated runs).
+// configuration, averaged over repeated runs), plus the resilience
+// counters (retries, timeouts, cancellations, shed requests) the
+// client/server failure paths feed.
 package metrics
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event counter, safe for
+// concurrent use. The zero value is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Resilience groups the failure-handling counters shared by the client
+// and server resilience layers. Embed one and count into its fields; take
+// a Snapshot for reporting. The zero value is ready.
+type Resilience struct {
+	// Retries counts retry attempts made after a failed exchange.
+	Retries Counter
+	// Timeouts counts work abandoned because a deadline expired: expired
+	// call/batch contexts on the client, per-item or per-operation
+	// deadline faults on the server.
+	Timeouts Counter
+	// Cancellations counts work abandoned because a context was cancelled
+	// before its deadline.
+	Cancellations Counter
+	// Shed counts requests rejected at admission because the application
+	// stage queue stayed full past the admission timeout.
+	Shed Counter
+}
+
+// ResilienceSummary is a point-in-time copy of a Resilience counter set.
+type ResilienceSummary struct {
+	// Retries is the number of retry attempts.
+	Retries int64
+	// Timeouts is the number of deadline expirations.
+	Timeouts int64
+	// Cancellations is the number of context cancellations.
+	Cancellations int64
+	// Shed is the number of admission rejections.
+	Shed int64
+}
+
+// Snapshot copies the current counter values.
+func (r *Resilience) Snapshot() ResilienceSummary {
+	return ResilienceSummary{
+		Retries:       r.Retries.Load(),
+		Timeouts:      r.Timeouts.Load(),
+		Cancellations: r.Cancellations.Load(),
+		Shed:          r.Shed.Load(),
+	}
+}
+
+// String formats the summary compactly for experiment logs.
+func (s ResilienceSummary) String() string {
+	return fmt.Sprintf("retries=%d timeouts=%d cancellations=%d shed=%d",
+		s.Retries, s.Timeouts, s.Cancellations, s.Shed)
+}
 
 // Recorder accumulates duration samples. Safe for concurrent use.
 type Recorder struct {

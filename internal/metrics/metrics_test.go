@@ -104,3 +104,38 @@ func TestQuickPercentileInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	c.Add(5)
+	if got := c.Load(); got != 8005 {
+		t.Errorf("Load = %d, want 8005", got)
+	}
+}
+
+func TestResilienceSnapshot(t *testing.T) {
+	var r Resilience
+	r.Retries.Inc()
+	r.Retries.Inc()
+	r.Timeouts.Inc()
+	r.Shed.Add(3)
+	s := r.Snapshot()
+	if s.Retries != 2 || s.Timeouts != 1 || s.Cancellations != 0 || s.Shed != 3 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	want := "retries=2 timeouts=1 cancellations=0 shed=3"
+	if s.String() != want {
+		t.Errorf("String = %q, want %q", s.String(), want)
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFailDialsCountdown(t *testing.T) {
+	link := NewLink(Fast())
+	defer link.Close()
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	link.FailDials(2)
+	for i := 0; i < 2; i++ {
+		if _, err := link.Dial(); !errors.Is(err, ErrDialFault) {
+			t.Fatalf("dial %d: err = %v, want ErrDialFault", i, err)
+		}
+	}
+	c, err := link.Dial()
+	if err != nil {
+		t.Fatalf("dial after countdown: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialFaultHook(t *testing.T) {
+	boom := errors.New("injected connect refusal")
+	refuse := true
+	cfg := Fast()
+	cfg.DialFault = func() error {
+		if refuse {
+			return boom
+		}
+		return nil
+	}
+	link := NewLink(cfg)
+	defer link.Close()
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+
+	if _, err := link.Dial(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected error", err)
+	}
+	refuse = false
+	c, err := link.Dial()
+	if err != nil {
+		t.Fatalf("dial after hook cleared: %v", err)
+	}
+	c.Close()
+}
+
+func TestExtraLatencyInjection(t *testing.T) {
+	client, server, link := pair(t, Fast())
+	defer client.Close()
+	defer server.Close()
+
+	echo := func() time.Duration {
+		start := time.Now()
+		if _, err := client.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1)
+		if _, err := readFull(server, buf); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	base := echo()
+
+	link.SetExtraLatency(50 * time.Millisecond)
+	slow := echo()
+	if slow < base+30*time.Millisecond {
+		t.Errorf("injected latency not observed: base %v, slow %v", base, slow)
+	}
+
+	link.SetExtraLatency(0)
+	fast := echo()
+	if fast > 30*time.Millisecond {
+		t.Errorf("latency lingered after clearing: %v", fast)
+	}
+}
+
+// readFull reads exactly len(buf) bytes.
+func readFull(c net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -52,6 +52,23 @@ type Config struct {
 	// FrameOverhead is the number of header bytes charged per segment.
 	// Zero means 58 (Ethernet 14 + IP 20 + TCP 20 + checksum/preamble 4).
 	FrameOverhead int
+
+	// DialFault, if set, is consulted before every connection attempt; a
+	// non-nil return refuses that dial with the given error (connect
+	// failure injection for resilience tests). It runs in addition to the
+	// countdown armed by Link.FailDials.
+	DialFault func() error
+	// ExtraLatency, if set, returns additional one-way delay applied to
+	// every write (latency degradation/jitter injection). It is called
+	// once per write quantum.
+	ExtraLatency func() time.Duration
+}
+
+// IsZero reports whether the configuration is entirely unset, i.e. the
+// zero value (Config is not comparable because of the injection hooks).
+func (c Config) IsZero() bool {
+	return c.PropagationDelay == 0 && c.Bandwidth == 0 && c.AcceptOverhead == 0 &&
+		c.MTU == 0 && c.FrameOverhead == 0 && c.DialFault == nil && c.ExtraLatency == nil
 }
 
 // LAN100 returns the configuration used throughout the experiments: a
@@ -108,6 +125,9 @@ type Link struct {
 	bytesDown     atomic.Int64
 	wireBytesUp   atomic.Int64
 	wireBytesDown atomic.Int64
+
+	failDials  atomic.Int64 // countdown armed by FailDials
+	extraDelay atomic.Int64 // nanoseconds, set by SetExtraLatency
 
 	mu       sync.Mutex
 	accept   chan *conn
@@ -176,6 +196,33 @@ func (l *Link) Listen() (*Listener, error) {
 	return l.listener, nil
 }
 
+// ErrDialFault is the error injected dial failures wrap, so tests and
+// retry policies can recognize them with errors.Is.
+var ErrDialFault = errors.New("netsim: connection refused (injected fault)")
+
+// FailDials arms the link to refuse the next n connection attempts with
+// ErrDialFault — the "lossy link" injection used by the resilience tests
+// and the fault-injection experiment. It is cumulative with Config.DialFault.
+func (l *Link) FailDials(n int64) {
+	l.failDials.Store(n)
+}
+
+// SetExtraLatency adds d of one-way delay to every subsequent write in
+// both directions (slow-link injection); zero removes it. It composes
+// with Config.ExtraLatency.
+func (l *Link) SetExtraLatency(d time.Duration) {
+	l.extraDelay.Store(int64(d))
+}
+
+// injectedDelay returns the currently injected one-way write delay.
+func (l *Link) injectedDelay() time.Duration {
+	d := time.Duration(l.extraDelay.Load())
+	if l.cfg.ExtraLatency != nil {
+		d += l.cfg.ExtraLatency()
+	}
+	return d
+}
+
 // Dial establishes a connection to the link's listener, charging the
 // handshake round trip (plus accept overhead) and a handshake's worth of
 // wire bytes.
@@ -189,6 +236,20 @@ func (l *Link) Dial() (net.Conn, error) {
 	}
 	if lis == nil {
 		return nil, errors.New("netsim: connection refused (no listener)")
+	}
+	for {
+		remaining := l.failDials.Load()
+		if remaining <= 0 {
+			break
+		}
+		if l.failDials.CompareAndSwap(remaining, remaining-1) {
+			return nil, ErrDialFault
+		}
+	}
+	if l.cfg.DialFault != nil {
+		if err := l.cfg.DialFault(); err != nil {
+			return nil, err
+		}
 	}
 
 	// SYN and ACK consume wire time in each direction plus a full round
@@ -357,7 +418,7 @@ func (c *conn) Write(p []byte) (int, error) {
 		c.wire.transmit(wireN)
 		c.payload.Add(int64(n))
 		c.wireBytes.Add(int64(wireN))
-		deliverAt := time.Now().Add(c.link.cfg.PropagationDelay)
+		deliverAt := time.Now().Add(c.link.cfg.PropagationDelay + c.link.injectedDelay())
 		if err := c.out.write(p[:n], deliverAt); err != nil {
 			return total, err
 		}

@@ -11,6 +11,7 @@
 package registry
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,9 +29,26 @@ type Context struct {
 	// RequestHeaders exposes the SOAP header blocks of the incoming
 	// envelope (shared across all requests packed into that envelope).
 	RequestHeaders []*xmldom.Element
+	// Ctx is the invocation's context.Context: it is cancelled when the
+	// caller gives up (propagated client deadline, peer disconnect,
+	// server shutdown) or when a per-operation deadline expires.
+	// Long-running handlers should watch Ctx.Done() and abort early; the
+	// dispatcher degrades abandoned packed items to per-item timeout
+	// faults regardless. Nil in handlers invoked outside a dispatcher;
+	// use the Context method for nil-safe access.
+	Ctx context.Context
 
 	mu              sync.Mutex
 	responseHeaders []*xmldom.Element
+}
+
+// Context returns the invocation context, or context.Background when none
+// was attached.
+func (c *Context) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // AddResponseHeader schedules a header block to be attached to the response

@@ -139,6 +139,35 @@ func (p *AdaptivePool) Submit(task Task) error {
 	return nil
 }
 
+// SubmitTimeout enqueues, blocking at most timeout while the queue is
+// full; ErrQueueFull once the timeout expires. A timeout <= 0 degenerates
+// to TrySubmit.
+func (p *AdaptivePool) SubmitTimeout(task Task, timeout time.Duration) error {
+	if task == nil {
+		return errors.New("stage: nil task")
+	}
+	if timeout <= 0 {
+		return p.TrySubmit(task)
+	}
+	deadline := time.Now().Add(timeout)
+	p.mu.Lock()
+	for len(p.queue) >= p.queueCap && !p.closed {
+		if !waitUntil(p.notAll, deadline) {
+			p.mu.Unlock()
+			return ErrQueueFull
+		}
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.queue = append(p.queue, task)
+	p.notAll.Broadcast()
+	p.mu.Unlock()
+	p.submitted.Add(1)
+	return nil
+}
+
 // TrySubmit enqueues without blocking; ErrQueueFull on a full queue.
 func (p *AdaptivePool) TrySubmit(task Task) error {
 	if task == nil {

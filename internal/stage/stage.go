@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Task is one unit of work executed by a pool worker.
@@ -33,6 +34,10 @@ type Executor interface {
 	// TrySubmit enqueues without blocking, returning ErrQueueFull on a
 	// full queue.
 	TrySubmit(Task) error
+	// SubmitTimeout enqueues, blocking at most timeout while the queue is
+	// full; it returns ErrQueueFull once the timeout expires (admission
+	// control: overload is shed instead of queueing without bound).
+	SubmitTimeout(Task, time.Duration) error
 	// PoolStats snapshots the pool counters.
 	PoolStats() Stats
 	// Close drains accepted tasks and stops the workers.
@@ -177,6 +182,54 @@ func (p *Pool) Submit(task Task) error {
 	p.mu.Unlock()
 	p.submitted.Add(1)
 	return nil
+}
+
+// SubmitTimeout enqueues a task, blocking at most timeout while the queue
+// is full. It returns ErrQueueFull when space does not free up in time and
+// ErrClosed if the pool closes while waiting — the queue-admission guard
+// of the server's resilience layer. A timeout <= 0 degenerates to
+// TrySubmit.
+func (p *Pool) SubmitTimeout(task Task, timeout time.Duration) error {
+	if task == nil {
+		return errors.New("stage: nil task")
+	}
+	if timeout <= 0 {
+		return p.TrySubmit(task)
+	}
+	deadline := time.Now().Add(timeout)
+	p.mu.Lock()
+	for len(p.queue) >= p.queueCap && !p.closed {
+		if !waitUntil(p.notAll, deadline) {
+			p.mu.Unlock()
+			p.rejected.Add(1)
+			return ErrQueueFull
+		}
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.queue = append(p.queue, task)
+	p.notAll.Broadcast()
+	p.mu.Unlock()
+	p.submitted.Add(1)
+	return nil
+}
+
+// waitUntil waits on cond (whose lock the caller holds) until a broadcast
+// or roughly the deadline; it reports false once the deadline has passed.
+// sync.Cond has no native timed wait, so a timer broadcast bounds the
+// sleep; spurious wakeups are fine because every caller re-checks its
+// predicate in a loop.
+func waitUntil(cond *sync.Cond, deadline time.Time) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	timer := time.AfterFunc(remaining, cond.Broadcast)
+	cond.Wait()
+	timer.Stop()
+	return time.Now().Before(deadline)
 }
 
 // TrySubmit enqueues a task without blocking; it returns ErrQueueFull when

@@ -123,6 +123,34 @@ const (
 	FaultServer          = soap.FaultServer
 )
 
+// Resilience fault codes (dotted refinements of Server, SOAP 1.1 §4.4.1).
+const (
+	// FaultTimeout marks work abandoned because a deadline expired —
+	// delivered per item inside packed responses so finished companions
+	// keep their real results.
+	FaultTimeout = core.FaultCodeTimeout
+	// FaultBusy marks a request shed at application-stage admission; the
+	// operation never started, so retrying is always safe.
+	FaultBusy = core.FaultCodeBusy
+	// FaultCancelled marks work abandoned because the caller disconnected
+	// or cancelled its context.
+	FaultCancelled = core.FaultCodeCancelled
+)
+
+// IsTimeoutFault reports whether err is a per-item/per-operation deadline
+// fault (FaultTimeout).
+func IsTimeoutFault(err error) bool { return core.IsTimeoutFault(err) }
+
+// IsBusyFault reports whether err is an admission-shed fault (FaultBusy),
+// meaning the operation never started and the call may be retried freely.
+func IsBusyFault(err error) bool { return core.IsBusyFault(err) }
+
+// HeaderDeadline is the HTTP header carrying the client's remaining
+// deadline budget in integer milliseconds; servers shorten it by
+// ServerConfig.DeadlineGrace and degrade work still running when it
+// expires.
+const HeaderDeadline = core.HeaderDeadline
+
 // Service registry.
 type (
 	// Container holds deployed services.
@@ -209,7 +237,15 @@ type (
 	InterceptorDispatcher = core.Dispatcher
 	// RequestInfo describes the message an Interceptor is seeing.
 	RequestInfo = core.RequestInfo
+	// RetryPolicy governs client-side retries: exponential backoff with
+	// jitter, gated on idempotency for errors that may have executed
+	// (ClientConfig.Retry, Client.MarkIdempotent).
+	RetryPolicy = core.RetryPolicy
 )
+
+// DefaultRetryPolicy returns the recommended retry policy: 3 attempts,
+// 20ms base delay doubling to a 2s cap, 20% jitter.
+func DefaultRetryPolicy() *RetryPolicy { return core.DefaultRetryPolicy() }
 
 // NewClient builds a client.
 func NewClient(cfg ClientConfig) (*Client, error) { return core.NewClient(cfg) }
