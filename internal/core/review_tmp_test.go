@@ -1,0 +1,48 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+)
+
+func TestReviewHandlerErrorUnderOperationTimeout(t *testing.T) {
+	link := netsim.NewLink(netsim.LAN100())
+	container := registry.NewContainer()
+	svc, err := container.AddService("Echo", "urn:echo", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.MustRegister("boom", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return nil, errors.New("real application error")
+	}, "fails")
+	srv, err := NewServer(ServerConfig{Container: container, AppWorkers: 4, AppQueue: 16, OperationTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+	client, err := NewClient(ClientConfig{Dial: link.Dial, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = client.Call("Echo", "boom")
+	var f *soap.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	t.Logf("fault code=%q string=%q", f.Code, f.String)
+	if f.Code != soap.FaultServer {
+		t.Errorf("handler error misreported: code=%q string=%q", f.Code, f.String)
+	}
+}
