@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench figures
+.PHONY: check build vet test race bench figures fuzz-smoke bench-check
 
 ## check: the full gate — build, vet, race-enabled tests.
 check:
@@ -33,3 +33,12 @@ bench:
 figures:
 	$(GO) run ./cmd/spibench
 	$(GO) run ./cmd/spibench -fig faults
+
+## fuzz-smoke: run each fuzz target briefly against the codec layer.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz='^FuzzTokenizer$$' -fuzztime=10s ./internal/xmltext
+	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
+
+## bench-check: snapshot the key benchmarks to BENCH_pr2.json (perf guard).
+bench-check:
+	$(GO) run ./cmd/benchcheck -out BENCH_pr2.json

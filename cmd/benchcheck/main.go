@@ -1,0 +1,204 @@
+// Command benchcheck runs the key micro- and throughput benchmarks
+// programmatically and writes a machine-readable JSON snapshot — the
+// perf-trajectory guard. Each PR appends its snapshot (BENCH_prN.json) so
+// regressions between PRs diff as numbers, not as vibes.
+//
+// Usage:
+//
+//	benchcheck                 # writes BENCH_pr2.json
+//	benchcheck -out FILE.json  # custom path
+//	benchcheck -benchtime 2s   # more stable numbers (default 1s)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/msgcache"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/trace"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the written snapshot.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func measure(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	res := Result{
+		Name:        name,
+		N:           r.N,
+		NsPerOp:     ns,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if ns > 0 {
+		res.OpsPerSec = 1e9 / ns
+	}
+	fmt.Printf("%-32s %12d ops %14.1f ns/op %10.0f ops/s %8d allocs/op\n",
+		name, res.N, res.NsPerOp, res.OpsPerSec, res.AllocsPerOp)
+	return res
+}
+
+func main() {
+	testing.Init() // registers test.benchtime before we touch it
+	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	flag.Parse()
+	// testing.Benchmark honours the package-level benchtime flag.
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: set benchtime: %v\n", err)
+		os.Exit(1)
+	}
+
+	report := Report{Benchtime: benchtime.String()}
+	add := func(r Result) { report.Results = append(report.Results, r) }
+
+	// --- codec micro-benchmarks ---------------------------------------
+	doc := sampleEnvelope(64)
+	add(measure("soap/decode-64-entry", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := soap.Decode(bytes.NewReader(doc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("soap/encode-64-entry", func(b *testing.B) {
+		env := buildEnvelope(64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := env.Encode(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("msgcache/render-hit", func(b *testing.B) {
+		c := msgcache.New()
+		params := []soapenc.Field{soapenc.F("message", "hello"), soapenc.F("count", int32(3))}
+		if _, ok, err := c.Render("Echo", "urn:spi:Echo", "echo", params); err != nil || !ok {
+			b.Fatalf("prime: ok=%v err=%v", ok, err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Render("Echo", "urn:spi:Echo", "echo", params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add(measure("trace/record-nil", func(b *testing.B) {
+		var tr *trace.Tracer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if tr.Enabled() {
+				tr.Record(trace.Span{})
+			}
+		}
+	}))
+	add(measure("trace/record-enabled", func(b *testing.B) {
+		tr := trace.New(4096)
+		span := trace.Span{Trace: 1, Stage: trace.StageApp, Service: time.Millisecond}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Record(span)
+		}
+	}))
+
+	// --- end-to-end hot paths -----------------------------------------
+	arg := soapenc.F("data", strings.Repeat("a", 10))
+	endToEnd := func(name string, tracer *trace.Tracer, packed bool) {
+		env, err := bench.NewEnv(bench.EnvOptions{Tracer: tracer})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer env.Close()
+		add(measure(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if packed {
+					batch := env.Client.NewBatch()
+					for j := 0; j < 16; j++ {
+						batch.Add("Echo", "echo", arg)
+					}
+					if err := batch.Send(); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					if _, err := env.Client.Call("Echo", "echo", arg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}))
+	}
+	endToEnd("e2e/serial-echo", nil, false)
+	endToEnd("e2e/packed-echo-16", nil, true)
+	endToEnd("e2e/packed-echo-16-traced", trace.New(8192), true)
+
+	report.GoVersion = runtime.Version()
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Results))
+}
+
+// sampleEnvelope serializes a packed envelope with n echo entries.
+func sampleEnvelope(n int) []byte {
+	env := buildEnvelope(n)
+	var buf bytes.Buffer
+	if err := env.Encode(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func buildEnvelope(n int) *soap.Envelope {
+	env := soap.New()
+	for i := 0; i < n; i++ {
+		el := newRequestElement("echo", []soapenc.Field{soapenc.F("data", "payload")})
+		env.AddBody(el)
+	}
+	return env
+}
+
+func newRequestElement(op string, params []soapenc.Field) *xmldom.Element {
+	el := xmldom.NewElement(xmltext.Name{Prefix: "m", Local: op})
+	el.DeclareNamespace("m", "urn:spi:Echo")
+	if err := soapenc.EncodeParams(el, params); err != nil {
+		panic(err)
+	}
+	return el
+}

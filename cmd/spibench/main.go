@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 5, 6, 7, wss, wan, travel, throughput, breakdown, micro, related, ablation, faults, all")
+	fig := flag.String("fig", "all", "which experiment: 5, 6, 7, wss, wan, travel, throughput, breakdown, trace, micro, related, ablation, faults, all")
 	reps := flag.Int("reps", 5, "repetitions per measured point")
 	mlist := flag.String("m", "", "comma-separated M values (default: the paper's 1,2,4,...,128)")
 	flag.Parse()
@@ -107,6 +107,18 @@ func main() {
 	}
 	if run("breakdown") {
 		r, err := bench.RunBreakdown(64, 10, *reps)
+		if err != nil {
+			fatal(err)
+		}
+		r.Print(os.Stdout)
+		ran = true
+	}
+	if run("trace") {
+		m := 64
+		if len(ms) > 0 {
+			m = ms[0]
+		}
+		r, err := bench.RunTrace(m, 10, *reps)
 		if err != nil {
 			fatal(err)
 		}

@@ -6,11 +6,14 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/soapenc"
+	"repro/internal/trace"
 )
 
 // BreakdownRow decomposes where server protocol-thread time goes for one
 // strategy: SOAP parsing, dispatch + operation execution, response
-// encoding — per envelope and total across the workload.
+// encoding — per envelope and total across the workload. The numbers come
+// from recorded spans (one per stage per envelope), not wall-clock deltas
+// around the whole exchange.
 type BreakdownRow struct {
 	Name      string
 	Envelopes int64
@@ -57,7 +60,8 @@ func RunBreakdown(m, payloadBytes, reps int) (*BreakdownResult, error) {
 
 	result := &BreakdownResult{M: m, PayloadBytes: payloadBytes}
 	for _, packed := range []bool{false, true} {
-		env, err := NewEnv(EnvOptions{})
+		tr := trace.New(0)
+		env, err := NewEnv(EnvOptions{Tracer: tr})
 		if err != nil {
 			return nil, err
 		}
@@ -81,30 +85,44 @@ func RunBreakdown(m, payloadBytes, reps int) (*BreakdownResult, error) {
 			}
 		}
 		st := env.Server.Stats()
+		stages := stageMap(tr.Stages())
 		env.Close()
 
 		name := "No Optimization"
 		if packed {
 			name = "Our Approach"
 		}
+		parse := stages[trace.StageProtocol].Service
+		dispatch := stages[trace.StageDispatch].Service
+		encode := stages[trace.StageAssemble].Service
 		row := BreakdownRow{
 			Name:       name,
 			Envelopes:  st.Envelopes / int64(reps),
-			ParseMs:    metrics.Millis(st.ParsePhase.Mean),
-			DispatchMs: metrics.Millis(st.DispatchPhase.Mean),
-			EncodeMs:   metrics.Millis(st.EncodePhase.Mean),
+			ParseMs:    metrics.Millis(parse.Mean),
+			DispatchMs: metrics.Millis(dispatch.Mean),
+			EncodeMs:   metrics.Millis(encode.Mean),
 		}
-		row.TotalParseMs = metrics.Millis(st.ParsePhase.Total) / float64(reps)
-		row.TotalDispatchMs = metrics.Millis(st.DispatchPhase.Total) / float64(reps)
-		row.TotalEncodeMs = metrics.Millis(st.EncodePhase.Total) / float64(reps)
+		row.TotalParseMs = metrics.Millis(parse.Sum) / float64(reps)
+		row.TotalDispatchMs = metrics.Millis(dispatch.Sum) / float64(reps)
+		row.TotalEncodeMs = metrics.Millis(encode.Sum) / float64(reps)
 		result.Rows = append(result.Rows, row)
 	}
 	return result, nil
 }
 
+// stageMap indexes stage summaries by name (missing stages yield zero
+// summaries, which render as zeros rather than panicking).
+func stageMap(stages []trace.StageSummary) map[string]trace.StageSummary {
+	out := make(map[string]trace.StageSummary, len(stages))
+	for _, s := range stages {
+		out[s.Stage] = s
+	}
+	return out
+}
+
 // Print renders the breakdown table.
 func (r *BreakdownResult) Print(w io.Writer) {
-	fmt.Fprintf(w, "Server-side cost breakdown — M=%d requests of %d B (per run of M)\n",
+	fmt.Fprintf(w, "Server-side cost breakdown — M=%d requests of %d B (per run of M, from spans)\n",
 		r.M, r.PayloadBytes)
 	fmt.Fprintf(w, "%-18s %10s %12s %14s %12s\n",
 		"strategy", "envelopes", "parse (ms)", "dispatch (ms)", "encode (ms)")

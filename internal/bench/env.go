@@ -19,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/registry"
 	"repro/internal/services"
+	"repro/internal/trace"
 	"repro/internal/wsse"
 )
 
@@ -55,6 +56,11 @@ type EnvOptions struct {
 	// AdmissionTimeout bounds application-stage queue admission on the
 	// server (zero: unbounded blocking submit).
 	AdmissionTimeout time.Duration
+	// Tracer, when non-nil, is shared by the client and the server so one
+	// sink sees every hop of every message — the per-stage breakdown
+	// experiments aggregate its spans. Nil runs untraced (the perf
+	// baselines, where tracing must cost one branch per hop).
+	Tracer *trace.Tracer
 }
 
 // Env is a running client/server pair over a simulated link.
@@ -101,6 +107,7 @@ func NewEnv(opt EnvOptions) (*Env, error) {
 		DifferentialDeserialization: opt.DiffDeserialization,
 		AdaptiveAppStage:            opt.AdaptiveAppStage,
 		AdmissionTimeout:            opt.AdmissionTimeout,
+		Tracer:                      opt.Tracer,
 	}
 	ccfg := core.ClientConfig{
 		Dial:          env.Link.Dial,
@@ -108,6 +115,7 @@ func NewEnv(opt EnvOptions) (*Env, error) {
 		Timeout:       120 * time.Second,
 		TemplateCache: opt.TemplateCache,
 		Retry:         opt.Retry,
+		Tracer:        opt.Tracer,
 	}
 	if opt.WSSecurity {
 		scfg.HeaderProcessors = []core.HeaderProcessor{&wsse.Verifier{

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/soapenc"
+	"repro/internal/trace"
+)
+
+// TraceStageRow is one stage of the per-stage latency table: span count,
+// queue-wait and service-time distributions.
+type TraceStageRow struct {
+	Stage   string
+	Spans   int64
+	Queue   metrics.HistogramSummary
+	Service metrics.HistogramSummary
+}
+
+// TraceModeResult is the full-path trace picture for one client strategy.
+type TraceModeResult struct {
+	Name   string
+	Stages []TraceStageRow
+	// AppQueuePeak is the deepest the application-stage queue got.
+	AppQueuePeak int64
+	// AppOccupancy is the application-stage worker occupancy sampled at the
+	// end of the run (informational; the peak gauge is the load signal).
+	AppOccupancy float64
+	// SpansDropped counts ring overwrites; non-zero means the table under-
+	// counts early spans.
+	SpansDropped int64
+}
+
+// TraceResult is the completed -fig trace experiment.
+type TraceResult struct {
+	M            int
+	PayloadBytes int
+	Reps         int
+	Modes        []TraceModeResult
+}
+
+// RunTrace runs the same M-request workload serially ("No Optimization")
+// and packed ("Our Approach") with a tracer shared between client and
+// server, then renders the paper-style per-stage breakdown — protocol,
+// dispatch, application (queue wait vs. service), assembly, plus the client
+// hops — from the recorded spans. This is Figure 5–7's attribution story
+// told from real per-hop measurements instead of end-to-end deltas.
+func RunTrace(m, payloadBytes, reps int) (*TraceResult, error) {
+	if m <= 0 {
+		m = 64
+	}
+	if payloadBytes <= 0 {
+		payloadBytes = 10
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = 'a'
+	}
+	arg := soapenc.F("data", string(payload))
+
+	result := &TraceResult{M: m, PayloadBytes: payloadBytes, Reps: reps}
+	for _, packed := range []bool{false, true} {
+		// Ring sized to the workload so no span is dropped mid-experiment:
+		// serial mode records 7 spans per request (every hop, per message).
+		tr := trace.New(8 * reps * (m + 4))
+		env, err := NewEnv(EnvOptions{Tracer: tr})
+		if err != nil {
+			return nil, err
+		}
+		for rep := 0; rep < reps; rep++ {
+			if packed {
+				b := env.Client.NewBatch()
+				for i := 0; i < m; i++ {
+					b.Add("Echo", "echo", arg)
+				}
+				if err := b.Send(); err != nil {
+					env.Close()
+					return nil, err
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					if _, err := env.Client.Call("Echo", "echo", arg); err != nil {
+						env.Close()
+						return nil, err
+					}
+				}
+			}
+		}
+		mode := TraceModeResult{
+			Name:         "No Optimization",
+			AppOccupancy: env.Server.Stats().AppStage.Occupancy(),
+			SpansDropped: tr.Dropped(),
+		}
+		if packed {
+			mode.Name = "Our Approach"
+		}
+		for _, s := range tr.Stages() {
+			mode.Stages = append(mode.Stages, TraceStageRow{
+				Stage: s.Stage, Spans: s.Spans, Queue: s.Queue, Service: s.Service,
+			})
+		}
+		for _, g := range tr.Gauges() {
+			if g.Name == "app.queue" {
+				mode.AppQueuePeak = g.Peak
+			}
+		}
+		env.Close()
+		result.Modes = append(result.Modes, mode)
+	}
+	return result, nil
+}
+
+// Print renders the per-stage tables.
+func (r *TraceResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Per-stage latency from recorded spans — M=%d requests of %d B, %d reps\n\n",
+		r.M, r.PayloadBytes, r.Reps)
+	for _, mode := range r.Modes {
+		fmt.Fprintf(w, "%s\n", mode.Name)
+		fmt.Fprintf(w, "  %-16s %8s %12s %12s %12s %12s %12s\n",
+			"stage", "spans", "queue-mean", "svc-mean", "svc-p50", "svc-p95", "svc-p99")
+		for _, row := range mode.Stages {
+			fmt.Fprintf(w, "  %-16s %8d %11.3fms %11.3fms %11.3fms %11.3fms %11.3fms\n",
+				row.Stage, row.Spans,
+				metrics.Millis(row.Queue.Mean),
+				metrics.Millis(row.Service.Mean),
+				metrics.Millis(row.Service.P50),
+				metrics.Millis(row.Service.P95),
+				metrics.Millis(row.Service.P99))
+		}
+		fmt.Fprintf(w, "  app queue peak %d, worker occupancy %.2f", mode.AppQueuePeak, mode.AppOccupancy)
+		if mode.SpansDropped > 0 {
+			fmt.Fprintf(w, ", %d spans dropped (ring full)", mode.SpansDropped)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(queue-mean is time waiting for an application-stage worker; only server.app queues.")
+	fmt.Fprintln(w, " quantiles are power-of-two bucket bounds, exact to within 2x.)")
+	fmt.Fprintln(w)
+}

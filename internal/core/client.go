@@ -16,6 +16,7 @@ import (
 	"repro/internal/msgcache"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
+	"repro/internal/trace"
 	"repro/internal/wsdl"
 	"repro/internal/xmldom"
 )
@@ -25,6 +26,11 @@ import (
 // server derives the dispatch context's deadline from it (minus a grace
 // period so the degraded response still reaches the client in time).
 const HeaderDeadline = "SPI-Deadline"
+
+// HeaderTrace is the HTTP request header that propagates the client's
+// trace id to the server, so spans recorded on both sides of one exchange
+// correlate. Sent only when the client's tracer is enabled.
+const HeaderTrace = "SPI-Trace"
 
 // HeaderProvider contributes header blocks to outgoing envelopes — the
 // client-side extension point WS-Security plugs into. body is the canonical
@@ -72,6 +78,13 @@ type ClientConfig struct {
 	// RetryPolicy for what is eligible; mark operations idempotent with
 	// Client.MarkIdempotent to widen it.
 	Retry *RetryPolicy
+
+	// Tracer, when non-nil, records client-side spans (client.pack,
+	// client.send, client.unpack) for every call and propagates a trace id
+	// to the server in the SPI-Trace header. Share one Tracer between a
+	// client and a server to see a message's full path in one sink. Nil
+	// disables tracing; the disabled path costs one branch per hop.
+	Tracer *trace.Tracer
 }
 
 // ClientStats counts client-side traffic.
@@ -123,6 +136,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			KeepAlive:    cfg.KeepAlive,
 			Timeout:      cfg.Timeout,
 			MaxBodyBytes: cfg.MaxBodyBytes,
+			Tracer:       cfg.Tracer,
 		},
 		namespaces: make(map[string]string),
 		idempotent: make(map[string]bool),
@@ -248,6 +262,7 @@ func (c *Client) Call(service, op string, params ...soapenc.Field) ([]soapenc.Fi
 // carries no deadline, ClientConfig.CallTimeout supplies one.
 func (c *Client) CallCtx(ctx context.Context, service, op string, params ...soapenc.Field) ([]soapenc.Field, error) {
 	c.calls.Add(1)
+	ctx = c.traceCtx(ctx)
 	if _, has := ctx.Deadline(); !has && c.cfg.CallTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
@@ -269,17 +284,26 @@ func (c *Client) CallCtx(ctx context.Context, service, op string, params ...soap
 // callOnce performs one attempt of a single-message call.
 func (c *Client) callOnce(ctx context.Context, service, op string, params []soapenc.Field) ([]soapenc.Field, error) {
 	target := c.cfg.PathPrefix + service
+	tr := c.cfg.Tracer
 
 	var respEnv *soap.Envelope
 	var err error
 	if c.templates != nil {
 		// Template-cache fast path: splice values into the cached
 		// serialized envelope, skipping DOM construction entirely.
+		var packStart time.Time
+		if tr.Enabled() {
+			packStart = time.Now()
+		}
 		doc, ok, terr := c.templates.Render(service, c.NamespaceOf(service), op, params)
 		if terr != nil {
 			return nil, fmt.Errorf("core: template for %s.%s: %w", service, op, terr)
 		}
 		if ok {
+			if tr.Enabled() {
+				tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
+					ID: -1, Op: service + "." + op, Start: packStart, Service: time.Since(packStart)})
+			}
 			respEnv, err = c.post(ctx, target, doc)
 		} else {
 			respEnv, err = c.exchangeCall(ctx, target, service, op, params)
@@ -297,7 +321,27 @@ func (c *Client) callOnce(ctx context.Context, service, op string, params []soap
 	if len(respEnv.Body) != 1 {
 		return nil, fmt.Errorf("core: response has %d body entries", len(respEnv.Body))
 	}
-	return soapenc.DecodeParams(respEnv.Body[0])
+	var unpackStart time.Time
+	if tr.Enabled() {
+		unpackStart = time.Now()
+	}
+	results, err := soapenc.DecodeParams(respEnv.Body[0])
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientUnpack,
+			ID: -1, Op: service + "." + op, Start: unpackStart, Service: time.Since(unpackStart)})
+	}
+	return results, err
+}
+
+// traceCtx attaches a fresh trace id to ctx when tracing is enabled and
+// the caller has not already established one (a Batch's calls share the
+// batch's id).
+func (c *Client) traceCtx(ctx context.Context) context.Context {
+	tr := c.cfg.Tracer
+	if !tr.Enabled() || trace.FromContext(ctx) != 0 {
+		return ctx
+	}
+	return trace.NewContext(ctx, tr.Begin())
 }
 
 // exchangeCall serializes one RPC request through the DOM path.
@@ -419,6 +463,7 @@ func (b *Batch) SendCtx(ctx context.Context) error {
 		b.resolveAll(nil, b.buildErr)
 		return b.buildErr
 	}
+	ctx = b.client.traceCtx(ctx)
 	if _, has := ctx.Deadline(); !has && b.client.cfg.BatchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, b.client.cfg.BatchTimeout)
@@ -448,6 +493,11 @@ func (b *Batch) SendCtx(ctx context.Context) error {
 		b.resolveAll(nil, err)
 		return err
 	}
+	tr := b.client.cfg.Tracer
+	var unpackStart time.Time
+	if tr.Enabled() {
+		unpackStart = time.Now()
+	}
 	results, err := decodePackedResponse(respEnv.Body[0])
 	if err != nil {
 		b.resolveAll(nil, err)
@@ -468,6 +518,10 @@ func (b *Batch) SendCtx(ctx context.Context) error {
 		default:
 			call.resolve(res.results, nil)
 		}
+	}
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientUnpack,
+			ID: -1, Op: fmt.Sprintf("batch[%d]", len(b.calls)), Start: unpackStart, Service: time.Since(unpackStart)})
 	}
 	return nil
 }
@@ -506,6 +560,11 @@ func (c *Client) version() soap.Version {
 
 // exchange performs one envelope round trip.
 func (c *Client) exchange(ctx context.Context, target string, body []*xmldom.Element) (*soap.Envelope, error) {
+	tr := c.cfg.Tracer
+	var packStart time.Time
+	if tr.Enabled() {
+		packStart = time.Now()
+	}
 	env := soap.New()
 	env.Version = c.version()
 	env.Body = body
@@ -523,6 +582,10 @@ func (c *Client) exchange(ctx context.Context, target string, body []*xmldom.Ele
 	if err := env.Encode(&buf); err != nil {
 		return nil, fmt.Errorf("core: encoding envelope: %w", err)
 	}
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
+			ID: -1, Op: target, Start: packStart, Service: time.Since(packStart)})
+	}
 	return c.post(ctx, target, buf.Bytes())
 }
 
@@ -536,6 +599,9 @@ func (c *Client) post(ctx context.Context, target string, doc []byte) (*soap.Env
 		if budget := time.Until(deadline); budget > 0 {
 			extra = append(extra, HeaderDeadline, strconv.FormatInt(budget.Milliseconds(), 10))
 		}
+	}
+	if id := trace.FromContext(ctx); id != 0 {
+		extra = append(extra, HeaderTrace, strconv.FormatUint(id, 10))
 	}
 	resp, err := c.http.PostCtx(ctx, target, c.version().ContentType(), doc, extra...)
 	if err != nil {

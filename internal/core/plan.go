@@ -151,6 +151,7 @@ func (p *Plan) SendCtx(ctx context.Context) error {
 		resolveAll(p.buildErr)
 		return p.buildErr
 	}
+	ctx = p.client.traceCtx(ctx)
 	if _, has := ctx.Deadline(); !has && p.client.cfg.BatchTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.client.cfg.BatchTimeout)

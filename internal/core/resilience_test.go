@@ -376,6 +376,31 @@ func TestOperationTimeoutWatchdog(t *testing.T) {
 	}
 }
 
+func TestHandlerErrorUnderOperationTimeout(t *testing.T) {
+	// A genuine application error from a handler that finished well inside
+	// its OperationTimeout must surface as a plain Server fault — not be
+	// reclassified as Server.Cancelled just because the watchdog's own
+	// cancel() fired while the outcome was being folded.
+	sys, _ := newResilienceSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.OperationTimeout = 5 * time.Second
+	})
+	svc, _ := sys.server.cfg.Container.Service("Echo")
+	svc.MustRegister("boom", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return nil, errors.New("real application error")
+	}, "fails")
+	_, err := sys.client.Call("Echo", "boom")
+	var f *soap.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want fault, got %v", err)
+	}
+	if f.Code != soap.FaultServer {
+		t.Errorf("handler error misreported: code=%q string=%q", f.Code, f.String)
+	}
+	if got := sys.server.Stats().Resilience.Cancellations; got != 0 {
+		t.Errorf("Cancellations = %d, want 0 (no caller cancelled anything)", got)
+	}
+}
+
 func TestDeadlineHeaderPropagates(t *testing.T) {
 	// The wire carries the remaining budget in SPI-Deadline; the handler's
 	// context on the server observes a deadline derived from it.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/soap"
 	"repro/internal/soapenc"
 	"repro/internal/stage"
+	"repro/internal/trace"
 	"repro/internal/wsdl"
 	"repro/internal/xmldom"
 )
@@ -103,6 +104,22 @@ type ServerConfig struct {
 	// and shipped before the client itself gives up. Zero means
 	// one fifth of the budget, capped at 100ms.
 	DeadlineGrace time.Duration
+
+	// Tracer, when non-nil, records server-side spans for every envelope:
+	// server.protocol (parse), server.dispatch, one server.app span per
+	// operation execution (queue wait vs. service time), server.assemble
+	// (response encoding) — plus app-queue-depth gauges. The trace id
+	// arrives in the client's SPI-Trace header, so sharing a Tracer
+	// between client and server correlates both sides. Nil disables
+	// tracing; the disabled path costs one branch per hop.
+	Tracer *trace.Tracer
+
+	// DebugEndpoints exposes GET /spi/stats (a JSON snapshot of
+	// ServerStats plus per-stage trace summaries) and GET
+	// /spi/pprof/<profile> (runtime profiles: goroutine, heap, allocs,
+	// block, mutex, threadcreate) on this server. Off by default: these
+	// endpoints are for operators, not for the SOAP surface.
+	DebugEndpoints bool
 }
 
 // ServerStats counts server-side work, for experiments.
@@ -297,6 +314,9 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 	}
 
 	if req.Method == "GET" {
+		if s.cfg.DebugEndpoints && strings.HasPrefix(req.Target, debugPathPrefix) {
+			return s.handleDebug(req)
+		}
 		return s.handleGet(req)
 	}
 	if req.Method != "POST" {
@@ -311,6 +331,17 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 		return resp
 	}
 
+	// Adopt the client's trace id (SPI-Trace) or start a server-local
+	// trace, so every span below correlates.
+	tr := s.cfg.Tracer
+	if tr.Enabled() {
+		tid := traceID(req)
+		if tid == 0 {
+			tid = tr.Begin()
+		}
+		ctx = trace.NewContext(ctx, tid)
+	}
+
 	parseStart := time.Now()
 	var env *soap.Envelope
 	var err error
@@ -319,7 +350,12 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 	} else {
 		env, err = soap.Decode(bytes.NewReader(req.Body))
 	}
-	s.phaseParse.Record(time.Since(parseStart))
+	parseDur := time.Since(parseStart)
+	s.phaseParse.Record(parseDur)
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageProtocol,
+			ID: -1, Op: req.Target, Start: parseStart, Service: parseDur})
+	}
 	if err != nil {
 		var vm *soap.VersionMismatchError
 		if errors.As(err, &vm) {
@@ -362,7 +398,12 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 		dispatcher = buildChain(s.cfg.Interceptors, info, dispatcher)
 	}
 	respEnv, fault := dispatcher(env)
-	s.phaseDispatch.Record(time.Since(dispatchStart))
+	dispatchDur := time.Since(dispatchStart)
+	s.phaseDispatch.Record(dispatchDur)
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageDispatch,
+			ID: -1, Op: req.Target, Start: dispatchStart, Service: dispatchDur})
+	}
 	if fault != nil {
 		return s.faultResponse(fault, env.Version)
 	}
@@ -373,8 +414,46 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 	respEnv.Version = env.Version
 	encodeStart := time.Now()
 	resp := s.envelopeResponse(200, respEnv)
-	s.phaseEncode.Record(time.Since(encodeStart))
+	encodeDur := time.Since(encodeStart)
+	s.phaseEncode.Record(encodeDur)
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageAssemble,
+			ID: -1, Op: req.Target, Start: encodeStart, Service: encodeDur})
+	}
 	return resp
+}
+
+// traceID parses the SPI-Trace header; zero means absent or malformed.
+func traceID(req *httpx.Request) uint64 {
+	v := req.Header.Get(HeaderTrace)
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// appTask wraps one application-stage task with a server.app span that
+// splits queue wait (submit to worker pickup) from service time (the
+// execution itself). With tracing disabled the task is returned untouched,
+// so the hot path pays one branch and no timestamps.
+func (s *Server) appTask(ctx context.Context, req *rpcRequest, run func()) stage.Task {
+	tr := s.cfg.Tracer
+	if !tr.Enabled() {
+		return run
+	}
+	tid := trace.FromContext(ctx)
+	submitted := time.Now()
+	return func() {
+		start := time.Now()
+		run()
+		tr.Record(trace.Span{Trace: tid, Stage: trace.StageApp, ID: req.id,
+			Op: req.service + "." + req.op, Start: start,
+			Queue: start.Sub(submitted), Service: time.Since(start)})
+	}
 }
 
 // handleGet serves service descriptions: "GET <prefix><Service>?wsdl"
@@ -529,6 +608,9 @@ func (s *Server) dispatch(ctx context.Context, env *soap.Envelope, defaultServic
 // timeout when configured. With no timeout the submit blocks until queue
 // space frees (the seed behaviour).
 func (s *Server) submitApp(task stage.Task) error {
+	if tr := s.cfg.Tracer; tr.Enabled() {
+		tr.Gauge("app.queue").Set(int64(s.appPool.QueueLen()))
+	}
 	if s.cfg.AdmissionTimeout > 0 {
 		return s.appPool.SubmitTimeout(task, s.cfg.AdmissionTimeout)
 	}
@@ -588,7 +670,8 @@ func (s *Server) dispatchSingle(ctx context.Context, entry *xmldom.Element, rctx
 		// application stage; the protocol thread sleeps until it is done
 		// or the request's deadline fires.
 		done := make(chan *rpcResult, 1)
-		if err := s.submitApp(func() { done <- s.execute(ctx, req, rctx) }); err != nil {
+		task := s.appTask(ctx, req, func() { done <- s.execute(ctx, req, rctx) })
+		if err := s.submitApp(task); err != nil {
 			return nil, s.admissionFault(err)
 		}
 		select {
@@ -654,7 +737,8 @@ func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *r
 			continue
 		}
 		slot, r := i, req
-		if err := s.submitApp(func() { done <- packedDone{slot, s.execute(ctx, r, rctx)} }); err != nil {
+		task := s.appTask(ctx, r, func() { done <- packedDone{slot, s.execute(ctx, r, rctx)} })
+		if err := s.submitApp(task); err != nil {
 			fault := s.admissionFault(err)
 			results[i] = &rpcResult{id: req.id, service: req.service, op: req.op, fault: fault}
 			continue
@@ -747,9 +831,13 @@ func (s *Server) execute(ctx context.Context, req *rpcRequest, rctx *registry.Co
 	}()
 	select {
 	case o := <-ch:
-		cancel()
+		// Classify the outcome before cancel(): cancelling first would make
+		// finishExecute read a context error we caused ourselves and rewrite
+		// a genuine application fault as Server.Cancelled.
 		s.recordOp(req.service, req.op, time.Since(execStart))
-		return s.finishExecute(res, rctx, invCtx, o.results, o.fault)
+		out := s.finishExecute(res, rctx, invCtx, o.results, o.fault)
+		cancel()
+		return out
 	case <-opCtx.Done():
 		cancel()
 		s.recordOp(req.service, req.op, time.Since(execStart))

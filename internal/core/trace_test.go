@@ -1,0 +1,239 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/soapenc"
+	"repro/internal/trace"
+)
+
+// spansByStage indexes a snapshot for assertion convenience.
+func spansByStage(spans []trace.Span) map[string][]trace.Span {
+	out := make(map[string][]trace.Span)
+	for _, s := range spans {
+		out[s.Stage] = append(out[s.Stage], s)
+	}
+	return out
+}
+
+func TestTraceSingleCallFullPath(t *testing.T) {
+	// One tracer shared by client and server: a single call must leave one
+	// span at every hop of the request path, all under the same trace id.
+	tr := trace.New(256)
+	sys := newSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.Tracer = tr
+		cc.Tracer = tr
+	})
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "hi")); err != nil {
+		t.Fatal(err)
+	}
+	byStage := spansByStage(tr.Snapshot())
+	for _, stage := range []string{trace.StageClientPack, trace.StageClientSend,
+		trace.StageProtocol, trace.StageDispatch, trace.StageApp,
+		trace.StageAssemble, trace.StageClientUnpack} {
+		if len(byStage[stage]) != 1 {
+			t.Errorf("stage %s: %d spans, want 1", stage, len(byStage[stage]))
+		}
+	}
+	var id uint64
+	for _, spans := range byStage {
+		for _, s := range spans {
+			if s.Trace == 0 {
+				t.Errorf("stage %s span has zero trace id", s.Stage)
+			}
+			if id == 0 {
+				id = s.Trace
+			} else if s.Trace != id {
+				t.Errorf("stage %s span trace id %d, want %d (all hops share one id)", s.Stage, s.Trace, id)
+			}
+		}
+	}
+}
+
+func TestTracePackedBatchSpans(t *testing.T) {
+	// A packed batch of N calls: one span per hop for the envelope plus one
+	// server.app span per packed request, each tagged with its spi:id and
+	// carrying the queue-wait/service split.
+	tr := trace.New(256)
+	sys := newSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.Tracer = tr
+		cc.Tracer = tr
+	})
+	b := sys.client.NewBatch()
+	const n = 4
+	for i := 0; i < n; i++ {
+		b.Add("Echo", "slow")
+	}
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	byStage := spansByStage(tr.Snapshot())
+	app := byStage[trace.StageApp]
+	if len(app) != n {
+		t.Fatalf("server.app spans = %d, want %d (one per packed request)", len(app), n)
+	}
+	seen := make(map[int]bool)
+	for _, s := range app {
+		if s.ID < 0 || s.ID >= n {
+			t.Errorf("app span spi:id = %d, out of range [0,%d)", s.ID, n)
+		}
+		seen[s.ID] = true
+		if s.Op != "Echo.slow" {
+			t.Errorf("app span Op = %q, want Echo.slow", s.Op)
+		}
+		if s.Service < 15*time.Millisecond {
+			t.Errorf("app span Service = %v, want >= ~20ms (the op sleeps)", s.Service)
+		}
+		if s.Queue < 0 {
+			t.Errorf("app span Queue = %v, want >= 0", s.Queue)
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("distinct spi:ids = %d, want %d", len(seen), n)
+	}
+	if got := len(byStage[trace.StageClientUnpack]); got != 1 {
+		t.Errorf("client.unpack spans = %d, want 1 (whole batch)", got)
+	}
+	if got := len(byStage[trace.StageDispatch]); got != 1 {
+		t.Errorf("server.dispatch spans = %d, want 1", got)
+	}
+	// The queue gauge was sampled during fan-out.
+	found := false
+	for _, g := range tr.Gauges() {
+		if g.Name == "app.queue" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no app.queue gauge was recorded during packed dispatch")
+	}
+}
+
+func TestTraceDisabledRecordsNothing(t *testing.T) {
+	// The default configuration (no tracer) must work exactly as before and
+	// emit no SPI-Trace header.
+	sys := newSystem(t, nil)
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	var tr *trace.Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer claims enabled")
+	}
+}
+
+func TestTraceServerOnlyBeginsOwnTrace(t *testing.T) {
+	// Tracing only the server side: no SPI-Trace header arrives, so the
+	// server starts a local trace and the server-side spans still correlate.
+	tr := trace.New(256)
+	sys := newSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.Tracer = tr
+	})
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	byStage := spansByStage(tr.Snapshot())
+	if len(byStage[trace.StageClientPack]) != 0 || len(byStage[trace.StageClientSend]) != 0 {
+		t.Error("client spans recorded despite untraced client")
+	}
+	var id uint64
+	for _, stage := range []string{trace.StageProtocol, trace.StageDispatch, trace.StageApp, trace.StageAssemble} {
+		spans := byStage[stage]
+		if len(spans) != 1 {
+			t.Fatalf("stage %s: %d spans, want 1", stage, len(spans))
+		}
+		if spans[0].Trace == 0 {
+			t.Errorf("stage %s: zero trace id, want server-local id", stage)
+		}
+		if id == 0 {
+			id = spans[0].Trace
+		} else if spans[0].Trace != id {
+			t.Errorf("stage %s: trace id %d, want %d", stage, spans[0].Trace, id)
+		}
+	}
+}
+
+func TestDebugStatsEndpoint(t *testing.T) {
+	tr := trace.New(256)
+	sys := newSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.Tracer = tr
+		cc.Tracer = tr
+		sc.DebugEndpoints = true
+	})
+	if _, err := sys.client.Call("Echo", "echo", soapenc.F("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	hc := &httpx.Client{Dial: sys.link.Dial}
+	defer hc.Close()
+	resp, err := hc.Do(httpx.NewRequest("GET", "/spi/stats", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /spi/stats: HTTP %d: %s", resp.StatusCode, resp.Body)
+	}
+	var snap struct {
+		Server struct {
+			Envelopes int64
+		} `json:"server"`
+		Stages []struct {
+			Stage string
+			Spans int64
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(resp.Body, &snap); err != nil {
+		t.Fatalf("stats not JSON: %v\n%s", err, resp.Body)
+	}
+	if snap.Server.Envelopes < 1 {
+		t.Errorf("Envelopes = %d, want >= 1", snap.Server.Envelopes)
+	}
+	hasApp := false
+	for _, s := range snap.Stages {
+		if s.Stage == trace.StageApp && s.Spans >= 1 {
+			hasApp = true
+		}
+	}
+	if !hasApp {
+		t.Errorf("stats carried no server.app stage summary: %s", resp.Body)
+	}
+}
+
+func TestDebugPprofEndpoint(t *testing.T) {
+	sys := newSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.DebugEndpoints = true
+	})
+	hc := &httpx.Client{Dial: sys.link.Dial}
+	defer hc.Close()
+	resp, err := hc.Do(httpx.NewRequest("GET", "/spi/pprof/goroutine", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /spi/pprof/goroutine: HTTP %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(resp.Body), "goroutine") {
+		t.Errorf("profile body does not mention goroutines: %.120s", resp.Body)
+	}
+	if resp, err = hc.Do(httpx.NewRequest("GET", "/spi/pprof/nonsense", nil)); err != nil {
+		t.Fatal(err)
+	} else if resp.StatusCode != 404 {
+		t.Errorf("unknown profile: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestDebugEndpointsOffByDefault(t *testing.T) {
+	sys := newSystem(t, nil)
+	hc := &httpx.Client{Dial: sys.link.Dial}
+	defer hc.Close()
+	resp, err := hc.Do(httpx.NewRequest("GET", "/spi/stats", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 404 {
+		t.Errorf("debug endpoint reachable without DebugEndpoints: HTTP %d", resp.StatusCode)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Dialer opens a new connection to the server. It abstracts over real TCP
@@ -47,6 +49,10 @@ type Client struct {
 	Timeout time.Duration
 	// MaxBodyBytes caps response bodies; zero means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
+	// Tracer, when enabled, records one client.send span per exchange
+	// covering dial/reuse, request write and response read. Nil disables
+	// tracing at the cost of one branch per exchange.
+	Tracer *trace.Tracer
 
 	mu     sync.Mutex
 	idle   []*persistConn
@@ -73,6 +79,24 @@ func (c *Client) Do(req *Request) (*Response, error) {
 // itself is not interruptible — the Dialer signature predates contexts —
 // but both simulated and loopback dials complete in microseconds.
 func (c *Client) DoCtx(ctx context.Context, req *Request) (*Response, error) {
+	if !c.Tracer.Enabled() {
+		return c.doCtx(ctx, req)
+	}
+	start := time.Now()
+	resp, err := c.doCtx(ctx, req)
+	c.Tracer.Record(trace.Span{
+		Trace:   trace.FromContext(ctx),
+		Stage:   trace.StageClientSend,
+		ID:      -1,
+		Op:      req.Method + " " + req.Target,
+		Start:   start,
+		Service: time.Since(start),
+	})
+	return resp, err
+}
+
+// doCtx performs the exchange (see DoCtx).
+func (c *Client) doCtx(ctx context.Context, req *Request) (*Response, error) {
 	if c.Dial == nil {
 		return nil, errors.New("httpx: client has no Dial")
 	}

@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 ||
+		s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot not all-zero: %+v", s)
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	samples := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond,
+		300 * time.Microsecond, 400 * time.Microsecond}
+	for _, d := range samples {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	if want := 1000 * time.Microsecond; s.Sum != want {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+	if want := 250 * time.Microsecond; s.Mean != want {
+		t.Errorf("Mean = %v, want %v", s.Mean, want)
+	}
+	if s.Min != 100*time.Microsecond {
+		t.Errorf("Min = %v, want 100µs", s.Min)
+	}
+	if s.Max != 400*time.Microsecond {
+		t.Errorf("Max = %v, want 400µs", s.Max)
+	}
+}
+
+func TestHistogramZeroSampleMin(t *testing.T) {
+	// A genuine zero-duration sample must register as Min = 0, which the
+	// min-as-ns+1 encoding has to distinguish from "no samples".
+	var h Histogram
+	h.Observe(0)
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Min != 0 {
+		t.Errorf("Min = %v, want 0", s.Min)
+	}
+	if s.Count != 2 {
+		t.Errorf("Count = %d, want 2", s.Count)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("negative sample not clamped to zero: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 100 samples at ~1ms and one outlier at ~100ms: P50 must stay in the
+	// 1ms bucket (upper bound within 2x), P99+ must see the outlier region.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	if s.P50 < time.Millisecond || s.P50 > 2*time.Millisecond {
+		t.Errorf("P50 = %v, want within [1ms, 2ms]", s.P50)
+	}
+	if s.P99 > 2*time.Millisecond {
+		t.Errorf("P99 = %v, want <= 2ms (outlier is past the 99th rank)", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", s.Max)
+	}
+}
+
+func TestHistogramQuantileClampedToMax(t *testing.T) {
+	// A single sample: every quantile is that sample's bucket, clamped to
+	// the observed max rather than the bucket's theoretical upper bound.
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	s := h.Snapshot()
+	for name, q := range map[string]time.Duration{"P50": s.P50, "P95": s.P95, "P99": s.P99} {
+		if q != 3*time.Millisecond {
+			t.Errorf("%s = %v, want clamped to max 3ms", name, q)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Errorf("Count = %d, want %d", s.Count, goroutines*perG)
+	}
+	if s.Min != 0 || s.Max != 999*time.Microsecond {
+		t.Errorf("Min/Max = %v/%v, want 0/999µs", s.Min, s.Max)
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Set(5)
+	if g.Add(3) != 0 || g.Load() != 0 || g.Peak() != 0 {
+		t.Error("nil gauge methods must be no-ops returning zero")
+	}
+}
+
+func TestGaugePeakTracking(t *testing.T) {
+	g := &Gauge{}
+	g.Set(3)
+	g.Set(10)
+	g.Set(4)
+	if g.Load() != 4 {
+		t.Errorf("Load = %d, want 4", g.Load())
+	}
+	if g.Peak() != 10 {
+		t.Errorf("Peak = %d, want 10", g.Peak())
+	}
+	if n := g.Add(8); n != 12 {
+		t.Errorf("Add = %d, want 12", n)
+	}
+	if g.Peak() != 12 {
+		t.Errorf("Peak after Add = %d, want 12", g.Peak())
+	}
+}

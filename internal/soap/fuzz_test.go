@@ -1,0 +1,50 @@
+package soap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEnvelope checks the decode path on arbitrary documents: it must
+// never panic, and any document it accepts must survive an encode/decode
+// round trip (whatever we parsed, we can serialize and parse again).
+func FuzzParseEnvelope(f *testing.F) {
+	const env11 = `<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/">`
+	const env12 = `<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope">`
+	for _, seed := range []string{
+		``,
+		`<?xml version="1.0" encoding="UTF-8"?>` + env11 + `<SOAP-ENV:Body><m:echo xmlns:m="urn:spi:Echo"><message>hi</message></m:echo></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+		env12 + `<env:Body><m:echo xmlns:m="urn:spi:Echo"/></env:Body></env:Envelope>`,
+		env11 + `<SOAP-ENV:Header><h:tok xmlns:h="urn:h" SOAP-ENV:mustUnderstand="1"/></SOAP-ENV:Header><SOAP-ENV:Body/></SOAP-ENV:Envelope>`,
+		env11 + `<SOAP-ENV:Body><SOAP-ENV:Fault><faultcode>SOAP-ENV:Server</faultcode><faultstring>boom</faultstring></SOAP-ENV:Fault></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+		env11 + `<SOAP-ENV:Body><spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack"><m:a xmlns:m="urn:a" spi:id="0" spi:service="A"/><m:b xmlns:m="urn:b" spi:id="1" spi:service="B"/></spi:Parallel_Method></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+		`<Envelope xmlns="urn:not-soap"><Body/></Envelope>`,
+		`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/">`,
+		env11 + `<SOAP-ENV:Body>`,
+		`<a/>`,
+		`not xml at all`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := env.Encode(&buf); err != nil {
+			t.Fatalf("accepted envelope failed to encode: %v", err)
+		}
+		env2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of own output failed: %v\noutput: %s", err, buf.Bytes())
+		}
+		if env2.Version != env.Version {
+			t.Fatalf("version changed across round trip: %v -> %v", env.Version, env2.Version)
+		}
+		if len(env2.Body) != len(env.Body) || len(env2.Header) != len(env.Header) {
+			t.Fatalf("structure changed across round trip: body %d->%d header %d->%d",
+				len(env.Body), len(env2.Body), len(env.Header), len(env2.Header))
+		}
+	})
+}

@@ -40,6 +40,9 @@ type Executor interface {
 	SubmitTimeout(Task, time.Duration) error
 	// PoolStats snapshots the pool counters.
 	PoolStats() Stats
+	// QueueLen returns the instantaneous queue length — the cheap probe
+	// the observability layer samples into its queue-depth gauge.
+	QueueLen() int
 	// Close drains accepted tasks and stops the workers.
 	Close()
 }
@@ -60,6 +63,20 @@ type Stats struct {
 	QueueCap  int   // configured queue capacity
 	Queued    int   // tasks currently waiting
 	Busy      int64 // workers currently running a task
+}
+
+// Occupancy is the fraction of workers busy at snapshot time, in [0, 1] —
+// the worker-utilization number the per-stage latency reports print next
+// to queue depth.
+func (s Stats) Occupancy() float64 {
+	if s.Workers <= 0 {
+		return 0
+	}
+	occ := float64(s.Busy) / float64(s.Workers)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
 }
 
 // Pool is a fixed-size worker pool fed by a bounded event queue.
@@ -267,6 +284,13 @@ func (p *Pool) Close() {
 
 // PoolStats implements Executor.
 func (p *Pool) PoolStats() Stats { return p.Stats() }
+
+// QueueLen returns the current queue length.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
 
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {

@@ -1,0 +1,62 @@
+package xmltext
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzTokenizer feeds arbitrary bytes to the tokenizer. The invariants:
+// it never panics, always terminates, and once it has reported a syntax
+// error it keeps reporting errors (no resurrection after corruption).
+func FuzzTokenizer(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`<a/>`,
+		`<a b="c">text</a>`,
+		`<?xml version="1.0" encoding="UTF-8"?><root><child/></root>`,
+		`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/"><SOAP-ENV:Body><m:echo xmlns:m="urn:spi:Echo"><message xsi:type="xsd:string">hi</message></m:echo></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+		`<spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack"><m:op spi:id="0" spi:service="Echo"/></spi:Parallel_Method>`,
+		`<a><![CDATA[ <not> markup & such ]]></a>`,
+		`<a><!-- comment --></a>`,
+		`<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x41;</a>`,
+		`<a>&bogus;</a>`,
+		`<a`,
+		`</a>`,
+		`<a></b>`,
+		`<a b='single' c="double"/>`,
+		`<a b="unterminated`,
+		`<a xmlns="">x</a>`,
+		"<a>\xff\xfe</a>",
+		`<![CDATA[lonely]]>`,
+		`<!DOCTYPE html>`,
+		strings.Repeat(`<d>`, 50) + strings.Repeat(`</d>`, 50),
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tk := NewTokenizer(strings.NewReader(string(data)))
+		sawErr := false
+		for i := 0; ; i++ {
+			_, err := tk.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if sawErr {
+					// A second call after an error may error again; fine.
+				}
+				sawErr = true
+				// The tokenizer must stay in its error state: the next call
+				// must not fabricate tokens from a corrupt stream.
+				if _, err2 := tk.Next(); err2 == nil {
+					t.Fatalf("tokenizer recovered after error %v", err)
+				}
+				break
+			}
+			if i > 1_000_000 {
+				t.Fatal("tokenizer did not terminate")
+			}
+		}
+	})
+}

@@ -84,6 +84,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
+	"repro/internal/trace"
 	"repro/internal/wsdl"
 	"repro/internal/wsse"
 )
@@ -257,6 +258,44 @@ func NewServer(cfg ServerConfig) (*Server, error) { return core.NewServer(cfg) }
 func NewAutoBatcher(c *Client, window time.Duration, maxBatch int) *AutoBatcher {
 	return core.NewAutoBatcher(c, window, maxBatch)
 }
+
+// Observability: per-stage tracing and latency histograms. A Tracer is
+// shared between ClientConfig.Tracer and ServerConfig.Tracer (the SPI-Trace
+// header correlates the two sides); a nil Tracer disables the whole layer
+// for the cost of one branch per hop.
+type (
+	// Tracer records per-stage spans into a ring buffer and aggregates
+	// per-stage latency histograms. All methods are nil-safe.
+	Tracer = trace.Tracer
+	// Span is one recorded hop: stage, trace id, packed-slot id, queue
+	// wait versus service time.
+	Span = trace.Span
+	// StageSummary aggregates one stage's spans: counts plus queue/service
+	// latency quantiles (p50/p95/p99, power-of-two buckets).
+	StageSummary = trace.StageSummary
+	// GaugeValue snapshots one named gauge (e.g. "app.queue") with its
+	// last and peak values.
+	GaugeValue = trace.GaugeValue
+)
+
+// NewTracer builds a Tracer whose ring buffer holds capacity spans
+// (capacity <= 0 selects a default).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// Stage names recorded along the request path, in path order.
+const (
+	StageClientPack   = trace.StageClientPack
+	StageClientSend   = trace.StageClientSend
+	StageProtocol     = trace.StageProtocol
+	StageDispatch     = trace.StageDispatch
+	StageApp          = trace.StageApp
+	StageAssemble     = trace.StageAssemble
+	StageClientUnpack = trace.StageClientUnpack
+)
+
+// HeaderTrace is the HTTP header carrying the client's trace id so server
+// spans join the client's trace.
+const HeaderTrace = core.HeaderTrace
 
 // Simulated network (the paper's testbed substitute).
 type (
