@@ -3,13 +3,16 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench figures fuzz-smoke bench-check
+.PHONY: check build vet test race race-pools bench figures fuzz-smoke bench-check bench-gate
 
-## check: the full gate — build, vet, race-enabled tests.
+## check: the full gate — build, vet, race-enabled tests, pool-lifecycle
+## tests under -race, and the perf-regression gate vs the PR 2 baseline.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) race-pools
+	$(MAKE) bench-gate
 
 build:
 	$(GO) build ./...
@@ -25,6 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+## race-pools: hammer the recycled-memory surfaces (arena, buffer pool,
+## interning, streaming decode) under the race detector with extra runs.
+race-pools:
+	$(GO) test -race -count=3 -run='Arena|Pool|Intern|Stream' \
+		./internal/xmldom ./internal/xmltext ./internal/soap \
+		./internal/core ./internal/httpx
+
 ## bench: the paper's experiments as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,6 +49,13 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenizer$$' -fuzztime=10s ./internal/xmltext
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
 
-## bench-check: snapshot the key benchmarks to BENCH_pr2.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr3.json (perf guard).
 bench-check:
-	$(GO) run ./cmd/benchcheck -out BENCH_pr2.json
+	$(GO) run ./cmd/benchcheck
+
+## bench-gate: fail if the key benchmarks regressed vs the PR 2 snapshot.
+## Short benchtime keeps the gate fast; the wide tolerance absorbs
+## machine noise while still catching step-function regressions.
+bench-gate:
+	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
+		-baseline BENCH_pr2.json -tolerance 35

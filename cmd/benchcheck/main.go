@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr2.json
+//	benchcheck                 # writes BENCH_pr3.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
+//	benchcheck -baseline BENCH_pr2.json -tolerance 10
+//	                           # compare mode: exit non-zero when a
+//	                           # benchmark regressed more than 10% in
+//	                           # ns/op or allocs/op vs the baseline
 package main
 
 import (
@@ -67,8 +71,10 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
+	baseline := flag.String("baseline", "", "baseline report to compare against (empty disables)")
+	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
 	flag.Parse()
 	// testing.Benchmark honours the package-level benchtime flag.
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -82,6 +88,20 @@ func main() {
 	// --- codec micro-benchmarks ---------------------------------------
 	doc := sampleEnvelope(64)
 	add(measure("soap/decode-64-entry", func(b *testing.B) {
+		// The server's decode hot path: interned names, arena-backed tree,
+		// arena recycled per request.
+		a := xmldom.AcquireArena()
+		defer xmldom.ReleaseArena(a)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := soap.DecodeArena(bytes.NewReader(doc), a); err != nil {
+				b.Fatal(err)
+			}
+			a.Reset()
+		}
+	}))
+	add(measure("soap/decode-64-entry-heap", func(b *testing.B) {
+		// The pre-arena buffered path, kept for the ablation delta.
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := soap.Decode(bytes.NewReader(doc)); err != nil {
@@ -173,6 +193,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(report.Results))
+
+	if *baseline != "" {
+		if err := compare(*baseline, report, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compare checks the report against a baseline snapshot: any benchmark
+// whose ns/op or allocs/op regressed by more than tolerance percent fails
+// the run. Benchmarks present on only one side are reported but do not
+// fail — snapshots gain benchmarks as the codebase grows.
+func compare(path string, cur Report, tolerance float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	limit := 1 + tolerance/100
+	var failures []string
+	fmt.Printf("\ncompare vs %s (tolerance %.0f%%):\n", path, tolerance)
+	for _, r := range cur.Results {
+		b, ok := byName[r.Name]
+		if !ok {
+			fmt.Printf("  %-32s new benchmark, no baseline\n", r.Name)
+			continue
+		}
+		delete(byName, r.Name)
+		nsDelta := pctDelta(r.NsPerOp, b.NsPerOp)
+		allocDelta := pctDelta(float64(r.AllocsPerOp), float64(b.AllocsPerOp))
+		verdict := "ok"
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*limit {
+			verdict = "REGRESSION(ns/op)"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+				r.Name, b.NsPerOp, r.NsPerOp, nsDelta))
+		} else if b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*limit {
+			verdict = "REGRESSION(allocs/op)"
+			failures = append(failures, fmt.Sprintf("%s: %d -> %d allocs/op (%+.1f%%)",
+				r.Name, b.AllocsPerOp, r.AllocsPerOp, allocDelta))
+		}
+		fmt.Printf("  %-32s ns/op %+7.1f%%  allocs/op %+7.1f%%  %s\n",
+			r.Name, nsDelta, allocDelta, verdict)
+	}
+	for name := range byName {
+		fmt.Printf("  %-32s dropped (present only in baseline)\n", name)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%:\n  %s",
+			len(failures), tolerance, strings.Join(failures, "\n  "))
+	}
+	fmt.Println("no regressions past tolerance")
+	return nil
+}
+
+// pctDelta returns the percent change from base to cur (negative = better).
+func pctDelta(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
 }
 
 // sampleEnvelope serializes a packed envelope with n echo entries.

@@ -342,6 +342,13 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 		ctx = trace.NewContext(ctx, tid)
 	}
 
+	// Zero-allocation fast path: arena-backed decode with streaming packed
+	// dispatch. Requires buffered-envelope features to be off (see
+	// canStream); responses are byte-identical with the path below.
+	if s.canStream() {
+		return s.handleStream(ctx, req, defaultService)
+	}
+
 	parseStart := time.Now()
 	var env *soap.Envelope
 	var err error

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/trace"
+	"repro/internal/xmldom"
+)
+
+// The streaming fast path decodes the request envelope from a pooled arena
+// and, for packed messages, dispatches each Parallel_Method entry to the
+// application stage as soon as its subtree closes — parse and execution
+// overlap instead of running back to back on the protocol thread.
+//
+// It preserves the buffered path's responses byte for byte. The one
+// observable difference is side-effect timing on malformed documents: a
+// request whose envelope turns out to be malformed *after* well-formed
+// packed entries gets the same whole-message fault the buffered path
+// returns, but those early entries have already executed. Deployments that
+// cannot accept that (or that need the whole tree up front) fall off the
+// fast path automatically: differential deserialization caches parsed
+// trees, interceptors receive whole envelopes, and header processors need
+// the canonical body serialization for signatures, so any of them disables
+// streaming.
+
+// canStream reports whether the streaming fast path applies to this server.
+func (s *Server) canStream() bool {
+	return s.diff == nil && len(s.cfg.Interceptors) == 0 && len(s.cfg.HeaderProcessors) == 0
+}
+
+// handleStream is the streaming counterpart of the parse/dispatch/encode
+// section of handle. The request arena is released when the response bytes
+// have been assembled; everything that outlives the exchange (decoded
+// params, header clones, response elements) is copied out by then.
+func (s *Server) handleStream(ctx context.Context, req *httpx.Request, defaultService string) *httpx.Response {
+	arena := xmldom.AcquireArena()
+	defer xmldom.ReleaseArena(arena)
+	tr := s.cfg.Tracer
+
+	parseStart := time.Now()
+	d := soap.NewStreamDecoder(bytes.NewReader(req.Body), arena)
+	err := d.ReadPreamble()
+	parseDur := time.Since(parseStart)
+	s.phaseParse.Record(parseDur)
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageProtocol,
+			ID: -1, Op: req.Target, Start: parseStart, Service: parseDur})
+	}
+	if err != nil {
+		return s.decodeErrorResponse(err)
+	}
+	env := d.Envelope()
+	s.envelopes.Add(1)
+
+	// Headers arrived with the preamble; mustUnderstand is enforceable now.
+	// (No HeaderProcessors on this path, so no canonical body is needed.)
+	if fault := s.processHeaders(env); fault != nil {
+		return s.faultResponse(fault, env.Version)
+	}
+	// Streamed entries cross into application-stage workers that can outlive
+	// the request (degrade path); the arena-backed header elements must not.
+	headers := cloneHeaders(env.Header)
+
+	if budget := deadlineBudget(req); budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.shortenBudget(budget))
+		defer cancel()
+	}
+
+	dispatchStart := time.Now()
+	respEnv, fault := s.dispatchStream(ctx, d, headers, defaultService)
+	dispatchDur := time.Since(dispatchStart)
+	s.phaseDispatch.Record(dispatchDur)
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageDispatch,
+			ID: -1, Op: req.Target, Start: dispatchStart, Service: dispatchDur})
+	}
+	if fault != nil {
+		return s.faultResponse(fault, env.Version)
+	}
+
+	respEnv.Version = env.Version
+	encodeStart := time.Now()
+	resp := s.envelopeResponse(200, respEnv)
+	encodeDur := time.Since(encodeStart)
+	s.phaseEncode.Record(encodeDur)
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageAssemble,
+			ID: -1, Op: req.Target, Start: encodeStart, Service: encodeDur})
+	}
+	return resp
+}
+
+// decodeErrorResponse maps a decode error to the fault the buffered path
+// produces: VersionMismatch for foreign envelope namespaces, Client
+// malformed-envelope otherwise, both in a SOAP 1.1 response.
+func (s *Server) decodeErrorResponse(err error) *httpx.Response {
+	if vm, ok := err.(*soap.VersionMismatchError); ok {
+		return s.faultResponse(&soap.Fault{Code: soap.FaultVersionMismatch, String: vm.Error()}, soap.V11)
+	}
+	return s.faultResponse(soap.ClientFault("malformed envelope: %v", err), soap.V11)
+}
+
+// shortenBudget applies the DeadlineGrace policy to a propagated budget.
+func (s *Server) shortenBudget(budget time.Duration) time.Duration {
+	grace := s.cfg.DeadlineGrace
+	if grace <= 0 {
+		grace = budget / 5
+		if grace > 100*time.Millisecond {
+			grace = 100 * time.Millisecond
+		}
+	}
+	if budget > grace {
+		budget -= grace
+	}
+	return budget
+}
+
+// cloneHeaders deep-copies header blocks off the request arena. Clone also
+// pulls inherited namespace declarations onto the copies, so they resolve
+// identically without their (arena-owned) ancestors.
+func cloneHeaders(hs []*xmldom.Element) []*xmldom.Element {
+	if len(hs) == 0 {
+		return nil
+	}
+	out := make([]*xmldom.Element, len(hs))
+	for i, h := range hs {
+		out[i] = h.Clone()
+	}
+	return out
+}
+
+// dispatchStream routes the body. A packed body streams entry by entry;
+// anything else completes the envelope and reuses the buffered dispatcher,
+// which keeps single-request and plan semantics (and their error messages)
+// in one place.
+func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, headers []*xmldom.Element, defaultService string) (*soap.Envelope, *soap.Fault) {
+	entry, err := d.NextEntryStart()
+	if err != nil {
+		return nil, soap.ClientFault("malformed envelope: %v", err)
+	}
+	rctx := &registry.Context{Ctx: ctx, RequestHeaders: headers}
+	if entry != nil && isPackedRequest(entry) {
+		s.packed.Add(1)
+		return s.dispatchPackedStream(ctx, d, entry, rctx, defaultService)
+	}
+	// Not packed: nothing to overlap, so finish decoding and fall back.
+	if entry != nil {
+		if err := d.CompleteEntry(entry); err != nil {
+			return nil, soap.ClientFault("malformed envelope: %v", err)
+		}
+	}
+	env, err := d.Finish()
+	if err != nil {
+		return nil, soap.ClientFault("malformed envelope: %v", err)
+	}
+	env.Header = headers
+	return s.dispatch(ctx, env, defaultService)
+}
+
+// streamCollector gathers results from application-stage workers when the
+// total entry count is unknown at submit time (entries are still being
+// parsed). deliver is safe from detached workers that finish after the
+// protocol thread degraded their slot: a slot only accepts its first write.
+type streamCollector struct {
+	mu        sync.Mutex
+	results   []*rpcResult
+	completed int
+	wake      chan struct{}
+}
+
+func newStreamCollector() *streamCollector {
+	return &streamCollector{wake: make(chan struct{}, 1)}
+}
+
+// addSlot reserves the next response slot.
+func (c *streamCollector) addSlot() int {
+	c.mu.Lock()
+	slot := len(c.results)
+	c.results = append(c.results, nil)
+	c.mu.Unlock()
+	return slot
+}
+
+// fill stores a result produced on the protocol thread (decode faults,
+// admission faults, coupled-mode executions).
+func (c *streamCollector) fill(slot int, res *rpcResult) {
+	c.mu.Lock()
+	c.results[slot] = res
+	c.mu.Unlock()
+}
+
+// deliver stores a worker's result and nudges the protocol thread.
+func (c *streamCollector) deliver(slot int, res *rpcResult) {
+	c.mu.Lock()
+	if c.results[slot] == nil {
+		c.results[slot] = res
+		c.completed++
+	}
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// wait blocks until want worker deliveries have landed or ctx is done,
+// reporting whether it was the deadline that ended the wait.
+func (c *streamCollector) wait(ctx context.Context, want int) (degraded bool) {
+	for {
+		c.mu.Lock()
+		done := c.completed
+		c.mu.Unlock()
+		if done >= want {
+			return false
+		}
+		select {
+		case <-c.wake:
+		case <-ctx.Done():
+			return true
+		}
+	}
+}
+
+// dispatchPackedStream is dispatchPacked fused with decoding: each
+// Parallel_Method entry is enqueued the moment its subtree closes, so the
+// first operations run while later entries are still being tokenized. The
+// protocol thread then sleeps until the last worker finishes (§3.3) or the
+// envelope deadline fires, degrading unfinished slots to per-item faults
+// exactly as the buffered path does.
+func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder, pm *xmldom.Element, rctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+	col := newStreamCollector()
+	var reqs []*rpcRequest
+	pendingWork := 0
+	for {
+		el, err := d.NextChild(pm)
+		if err != nil {
+			return nil, soap.ClientFault("malformed envelope: %v", err)
+		}
+		if el == nil {
+			break
+		}
+		i := col.addSlot()
+		req, fault := decodeRequestElement(el, defaultService, i)
+		reqs = append(reqs, req)
+		if fault != nil {
+			col.fill(i, &rpcResult{id: i, fault: fault})
+			continue
+		}
+		if s.cfg.Coupled || s.appPool == nil {
+			// Traditional architecture: serial execution as entries arrive,
+			// degrading the remainder once the deadline has passed.
+			if ctx.Err() != nil {
+				col.fill(i, s.abandonResult(ctx, req))
+				continue
+			}
+			col.fill(i, s.execute(ctx, req, rctx))
+			continue
+		}
+		slot, r := i, req
+		task := s.appTask(ctx, r, func() { col.deliver(slot, s.execute(ctx, r, rctx)) })
+		if err := s.submitApp(task); err != nil {
+			col.fill(i, &rpcResult{id: req.id, service: req.service, op: req.op, fault: s.admissionFault(err)})
+			continue
+		}
+		pendingWork++
+	}
+	if len(reqs) == 0 {
+		return nil, soap.ClientFault("%s has no requests", ElemParallelMethod)
+	}
+
+	// Validate the rest of the document before sleeping on workers: a
+	// malformed tail (or extra body entries) must produce the buffered
+	// path's whole-message fault. Late workers deliver into the collector
+	// harmlessly — they hold copies, never arena nodes.
+	extra := 0
+	for {
+		el, err := d.NextEntryStart()
+		if err != nil {
+			return nil, soap.ClientFault("malformed envelope: %v", err)
+		}
+		if el == nil {
+			break
+		}
+		extra++
+		if err := d.CompleteEntry(el); err != nil {
+			return nil, soap.ClientFault("malformed envelope: %v", err)
+		}
+	}
+	if _, err := d.Finish(); err != nil {
+		return nil, soap.ClientFault("malformed envelope: %v", err)
+	}
+	if extra > 0 {
+		return nil, soap.ClientFault("expected exactly one body entry, got %d", 1+extra)
+	}
+
+	if col.wait(ctx, pendingWork) {
+		// Degrade: keep completed results, fault the rest.
+		col.mu.Lock()
+		for i, r := range col.results {
+			if r == nil {
+				col.results[i] = s.abandonResult(ctx, reqs[i])
+			}
+		}
+		col.mu.Unlock()
+	}
+
+	col.mu.Lock()
+	results := col.results
+	col.mu.Unlock()
+	for _, r := range results {
+		if r.fault != nil {
+			s.itemFaults.Add(1)
+		}
+	}
+	respEl, err := buildPackedResponse(results, s.namespaceOf)
+	if err != nil {
+		return nil, soap.ServerFault("assembling packed response: %v", err)
+	}
+	out := soap.New()
+	out.Header = rctx.ResponseHeaders()
+	out.AddBody(respEl)
+	return out, nil
+}

@@ -1,0 +1,116 @@
+package httpx
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Request-body buffer pooling for the server read path.
+//
+// Every POST used to allocate a fresh body buffer sized to Content-Length
+// and leave it for the collector after the exchange. SOAP traffic is a
+// steady stream of similar-sized documents, so the server instead recycles
+// body buffers through a sync.Pool: serveConn acquires the buffer with the
+// request and releases it once the response has been written and logged.
+//
+// The Handler contract this relies on: a handler must not retain
+// req.Body (or sub-slices of it) past its return. Every consumer in this
+// stack parses the body into independently-allocated structures before
+// returning. Oversized bodies bypass the pool entirely — one huge request
+// must not pin a huge buffer in the pool forever.
+
+// maxPooledBody is the largest body served from the pool. Larger bodies
+// fall back to a one-shot allocation.
+const maxPooledBody = 1 << 20
+
+// bodyPool holds recycled body buffers (as *[]byte to avoid an allocation
+// per Put). Buffers keep their grown capacity across uses.
+var bodyPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 16<<10)
+		return &b
+	},
+}
+
+// acquireBody returns a length-n buffer backed by the pool.
+func acquireBody(n int) *[]byte {
+	bp := bodyPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n, max(n, 2*cap(*bp)))
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// releaseBody returns a buffer to the pool.
+func releaseBody(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bodyPool.Put(bp)
+}
+
+// ReadRequestPooled parses one request like ReadRequest, drawing the body
+// buffer from the process pool when the body is Content-Length framed and
+// at most maxPooledBody bytes. The returned release func recycles the
+// buffer; after calling it req.Body must not be touched. release is never
+// nil and is safe to call exactly once.
+func ReadRequestPooled(br *bufio.Reader, maxBody int64) (*Request, func(), error) {
+	noop := func() {}
+	budget := MaxHeaderBytes
+	line, err := readLine(br, &budget)
+	if err != nil {
+		return nil, noop, err // io.EOF here means a cleanly closed keep-alive conn
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) != 3 {
+		return nil, noop, protoErrf("malformed request line %q", line)
+	}
+	method, target, proto := parts[0], parts[1], parts[2]
+	if proto != "HTTP/1.1" && proto != "HTTP/1.0" {
+		return nil, noop, protoErrf("unsupported protocol %q", proto)
+	}
+	h, err := readHeader(br, &budget)
+	if err != nil {
+		return nil, noop, err
+	}
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	req := &Request{Method: method, Target: target, Proto: proto, Header: h}
+
+	// Pooled fast path: Content-Length framing within the pooling cap.
+	if cl := h.Get("Content-Length"); cl != "" && !h.hasToken("Transfer-Encoding", "chunked") {
+		n, err := strconv.ParseInt(strings.TrimSpace(cl), 10, 64)
+		if err != nil || n < 0 {
+			return nil, noop, protoErrf("bad Content-Length %q", cl)
+		}
+		if n > maxBody {
+			return nil, noop, protoErrf("body of %d bytes exceeds limit %d", n, maxBody)
+		}
+		if n <= maxPooledBody {
+			bp := acquireBody(int(n))
+			if _, err := io.ReadFull(br, *bp); err != nil {
+				releaseBody(bp)
+				return nil, noop, protoErrf("short body: %v", err)
+			}
+			req.Body = *bp
+			released := false
+			return req, func() {
+				if !released {
+					released = true
+					req.Body = nil
+					releaseBody(bp)
+				}
+			}, nil
+		}
+	}
+	// Chunked, oversized or absent body: the regular unpooled path.
+	body, err := readBody(br, &h, maxBody, false)
+	if err != nil {
+		return nil, noop, err
+	}
+	req.Body = body
+	return req, noop, nil
+}

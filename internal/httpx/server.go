@@ -25,6 +25,10 @@ import (
 // response. On keep-alive connections peer disconnection cannot be
 // observed without stealing bytes from the next request, so there ctx only
 // reflects server shutdown.
+//
+// req.Body is served from a recycled buffer pool: a handler (and any
+// AccessLog observer) must not retain req.Body or sub-slices of it past
+// its return — copy out anything that must survive the exchange.
 type Handler func(ctx context.Context, req *Request) *Response
 
 // Server serves HTTP/1.1 connections from a listener.
@@ -191,7 +195,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
 		}
-		req, err := ReadRequest(br, s.MaxBodyBytes)
+		req, release, err := ReadRequestPooled(br, s.MaxBodyBytes)
 		if err != nil {
 			if err == io.EOF {
 				return // peer closed between requests: normal keep-alive end
@@ -264,6 +268,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if s.AccessLog != nil {
 			s.AccessLog(conn.RemoteAddr(), req, resp.StatusCode, time.Since(start))
 		}
+		// The exchange is fully over (response written, observers ran):
+		// recycle the request body buffer.
+		release()
 		if cancelReq != nil {
 			cancelReq()
 		}

@@ -1,0 +1,206 @@
+package xmldom
+
+import (
+	"fmt"
+	"repro/internal/xmltext"
+	"strings"
+	"testing"
+)
+
+// arenaDocs is a spread of document shapes the arena parser must reproduce
+// exactly as the heap parser does.
+var arenaDocs = []string{
+	`<a/>`,
+	`<a></a>`,
+	`<a x="1" y="2"><b/><c>text</c></a>`,
+	`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/">` +
+		`<SOAP-ENV:Body><m:echo xmlns:m="urn:spi:Echo">` +
+		`<data xsi:type="xsd:string" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">payload</data>` +
+		`</m:echo></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+	`<r><!-- comment --><a>mixed<b/>tail</a>  <c><![CDATA[<raw>]]></c></r>`,
+	`<r>&lt;escaped &amp; entities&gt;<deep><deep><deep>x</deep></deep></deep></r>`,
+	"<r>\n  <a/>\n  <b>v</b>\n</r>",
+}
+
+func TestParseInArenaMatchesParse(t *testing.T) {
+	a := AcquireArena()
+	defer ReleaseArena(a)
+	for _, doc := range arenaDocs {
+		want, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", doc, err)
+		}
+		got, err := ParseInArena(strings.NewReader(doc), a)
+		if err != nil {
+			t.Fatalf("ParseInArena(%s): %v", doc, err)
+		}
+		if !Equal(got, want) {
+			t.Errorf("tree mismatch for %s:\narena: %s\nheap:  %s", doc, got, want)
+		}
+		// Serialization must agree byte for byte, not just structurally.
+		if gs, ws := got.String(), want.String(); gs != ws {
+			t.Errorf("serialization mismatch for %s:\narena: %s\nheap:  %s", doc, gs, ws)
+		}
+		a.Reset()
+	}
+}
+
+func TestParseInArenaErrors(t *testing.T) {
+	a := AcquireArena()
+	defer ReleaseArena(a)
+	for _, doc := range []string{``, `   `, `<a><b></a>`, `<a>`, `<a`, `</a>`} {
+		if _, err := ParseInArena(strings.NewReader(doc), a); err == nil {
+			t.Errorf("ParseInArena(%q) succeeded, want error", doc)
+		}
+		a.Reset()
+	}
+}
+
+// TestArenaRecycleNoAliasing is the leak/aliasing guarantee the pool relies
+// on: after a request's arena is released and reused, none of request N's
+// values are observable from request N+1 — neither in the freshly parsed
+// tree nor through a node pointer wrongly retained across the release.
+func TestArenaRecycleNoAliasing(t *testing.T) {
+	const marker = "SECRET-REQUEST-N-VALUE"
+	docN := `<env><body op="` + marker + `"><entry>` + marker + `</entry>` +
+		`<entry2 attr="` + marker + `"/></body></env>`
+	docN1 := `<env><body op="other"><entry>clean-value</entry><entry2 attr="x"/></body></env>`
+
+	a := AcquireArena()
+	rootN, err := ParseInArena(strings.NewReader(docN), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrongly retain nodes past the release, as a buggy handler would.
+	leakedEl := rootN.Child("", "body")
+	leakedText := leakedEl.Child("", "entry").Children[0].(*Text)
+
+	ReleaseArena(a)
+	a2 := AcquireArena() // under GOMAXPROCS=1 tests this is typically the same arena
+	defer ReleaseArena(a2)
+	rootN1, err := ParseInArena(strings.NewReader(docN1), a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var walk func(e *Element)
+	walk = func(e *Element) {
+		for _, at := range e.Attrs {
+			if strings.Contains(at.Value, marker) {
+				t.Errorf("request N marker leaked into N+1 attr %v", at)
+			}
+		}
+		for _, n := range e.Children {
+			switch n := n.(type) {
+			case *Element:
+				walk(n)
+			case *Text:
+				if strings.Contains(n.Data, marker) {
+					t.Errorf("request N marker leaked into N+1 text %q", n.Data)
+				}
+			}
+		}
+	}
+	walk(rootN1)
+
+	// The retained pointers must not expose request N's values either: the
+	// release zeroed them (they may since hold N+1's data, never N's).
+	if leakedText.Data == marker {
+		t.Error("retained text node still holds request N's value after release")
+	}
+	for _, at := range leakedEl.Attrs {
+		if strings.Contains(at.Value, marker) {
+			t.Error("retained element still holds request N's attribute value after release")
+		}
+	}
+}
+
+// TestArenaSlabSpill exercises slab growth and the capacity clip: a document
+// with far more nodes than one slab holds, plus post-parse mutation that
+// must not scribble over slab neighbours.
+func TestArenaSlabSpill(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`<root>`)
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, `<item i="%d" j="%d"><v>%d</v><w/></item>`, i, i+1, i)
+	}
+	b.WriteString(`</root>`)
+
+	a := AcquireArena()
+	defer ReleaseArena(a)
+	root, err := ParseInArena(strings.NewReader(b.String()), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := root.ChildElements()
+	if len(items) != 500 {
+		t.Fatalf("parsed %d items, want 500", len(items))
+	}
+	for i, it := range items {
+		if got := it.AttrValue(xmltext.Name{Local: "i"}); got != fmt.Sprint(i) {
+			t.Fatalf("item %d has i=%q", i, got)
+		}
+		if got := it.Child("", "v").Text(); got != fmt.Sprint(i) {
+			t.Fatalf("item %d has v=%q", i, got)
+		}
+	}
+	// Mutating one element's attrs (capacity-clipped) must not corrupt its
+	// slab neighbour's attributes.
+	items[10].SetAttr(xmltext.Name{Local: "k"}, "new")
+	if got := items[11].AttrValue(xmltext.Name{Local: "i"}); got != "11" {
+		t.Errorf("neighbour attr corrupted by SetAttr: i=%q", got)
+	}
+	// Same for child slices: growing one past its carve must not clobber
+	// the next element's children.
+	items[20].AddChild(&Text{Data: "extra1"})
+	items[20].AddChild(&Text{Data: "extra2"})
+	items[20].AddChild(&Text{Data: "extra3"})
+	if got := items[21].Child("", "v").Text(); got != "21" {
+		t.Errorf("neighbour children corrupted by AddChild: v=%q", got)
+	}
+	// After heavy growth Reset must return the arena to a reusable state.
+	a.Reset()
+	small, err := ParseInArena(strings.NewReader(`<x><y>z</y></x>`), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Child("", "y").Text() != "z" {
+		t.Error("arena unusable after Reset from spilled state")
+	}
+}
+
+// TestArenaParseAllocs pins the win: parsing a packed envelope into a warm
+// arena should allocate an order of magnitude less than heap parsing.
+func TestArenaParseAllocs(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/"><SOAP-ENV:Body>`)
+	for i := 0; i < 64; i++ {
+		b.WriteString(`<m:echo xmlns:m="urn:spi:Echo"><data xsi:type="xsd:string" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">payload</data></m:echo>`)
+	}
+	b.WriteString(`</SOAP-ENV:Body></SOAP-ENV:Envelope>`)
+	doc := b.String()
+
+	a := AcquireArena()
+	defer ReleaseArena(a)
+	// Warm the slabs and the intern table.
+	if _, err := ParseInArena(strings.NewReader(doc), a); err != nil {
+		t.Fatal(err)
+	}
+	a.Reset()
+
+	arenaAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := ParseInArena(strings.NewReader(doc), a); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+	})
+	heapAllocs := testing.AllocsPerRun(10, func() {
+		if _, err := Parse(strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("allocs/parse: arena=%.0f heap=%.0f", arenaAllocs, heapAllocs)
+	if arenaAllocs > heapAllocs/4 {
+		t.Errorf("arena parse allocates too much: %.0f vs heap %.0f", arenaAllocs, heapAllocs)
+	}
+}

@@ -303,54 +303,15 @@ func (e *Element) String() string {
 	return b.String()
 }
 
+var errEmptyDocument = fmt.Errorf("xmldom: empty document")
+
 // Parse reads one XML document from r and returns its root element.
 // Comments are preserved inside the tree; the XML declaration and anything
-// else outside the root element are discarded.
+// else outside the root element are discarded. The tree is heap-allocated
+// and unrestricted in lifetime; the decode hot path uses ParseInArena
+// instead.
 func Parse(r io.Reader) (*Element, error) {
-	tk := xmltext.NewTokenizer(r)
-	var root *Element
-	var cur *Element
-	for {
-		tok, err := tk.Next()
-		if err == io.EOF {
-			if root == nil {
-				return nil, fmt.Errorf("xmldom: empty document")
-			}
-			return root, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		switch tok.Kind {
-		case xmltext.KindStartElement:
-			el := &Element{Name: tok.Name, Attrs: append([]xmltext.Attr(nil), tok.Attrs...)}
-			if cur == nil {
-				root = el
-			} else {
-				cur.AddChild(el)
-			}
-			cur = el
-		case xmltext.KindEndElement:
-			cur = cur.Parent
-		case xmltext.KindText:
-			if cur != nil {
-				// Merge adjacent text nodes (e.g. CDATA next to text).
-				if n := len(cur.Children); n > 0 {
-					if t, ok := cur.Children[n-1].(*Text); ok {
-						t.Data += tok.Text
-						continue
-					}
-				}
-				cur.AddChild(&Text{Data: tok.Text})
-			}
-		case xmltext.KindComment:
-			if cur != nil {
-				cur.AddChild(&Comment{Data: tok.Text})
-			}
-		case xmltext.KindProcInst:
-			// Declarations and PIs are not part of the model.
-		}
-	}
+	return ParseInArena(r, nil)
 }
 
 // ParseString is Parse over a string, a convenience for tests.

@@ -41,6 +41,15 @@ type Tokenizer struct {
 	rootClosed bool // the root element has been closed
 
 	buf []byte // scratch for token assembly, reused between calls
+	val []byte // scratch for attribute values, reused between calls
+
+	// rawText suppresses string materialization for Text tokens: the
+	// caller reads the content through TokenBytes instead. See SetRawText.
+	rawText bool
+	// reuseAttrs makes successive start tokens share one Attrs backing
+	// array. See SetReuseTokenAttrs.
+	reuseAttrs bool
+	attrs      []Attr // scratch for Token.Attrs when reuseAttrs is set
 }
 
 // NewTokenizer returns a Tokenizer reading from r.
@@ -50,6 +59,26 @@ func NewTokenizer(r io.Reader) *Tokenizer {
 		pos: Pos{Line: 1, Col: 1},
 	}
 }
+
+// SetRawText switches Text tokens to zero-copy delivery: their Text field
+// stays empty and the content is read through TokenBytes instead, valid
+// only until the next call to Next. Comment and ProcInst tokens are
+// unaffected (they are not on any hot path). Callers that keep text beyond
+// one token — like the DOM builder — copy it themselves, which lets them
+// skip the copy entirely for whitespace runs and other text they discard.
+func (t *Tokenizer) SetRawText(on bool) { t.rawText = on }
+
+// SetReuseTokenAttrs makes every start-element token share one attribute
+// backing array: Token.Attrs is only valid until the next call to Next.
+// Callers that copy attributes out immediately (the DOM builder does) save
+// one allocation per element.
+func (t *Tokenizer) SetReuseTokenAttrs(on bool) { t.reuseAttrs = on }
+
+// TokenBytes returns the raw content bytes of the most recent Text token
+// (and, under SetRawText, the only way to read it). The slice aliases the
+// tokenizer's scratch buffer: it is valid only until the next call to Next
+// and must not be modified.
+func (t *Tokenizer) TokenBytes() []byte { return t.buf }
 
 // Pos returns the current input position (just past the last byte consumed).
 func (t *Tokenizer) Pos() Pos { return t.pos }
@@ -165,16 +194,20 @@ func (t *Tokenizer) readText() (Token, error) {
 			return Token{}, t.syntaxErr("text token exceeds %d bytes", MaxTokenBytes)
 		}
 	}
-	text := string(t.buf)
 	if len(t.open) == 0 {
-		// Outside the root element only whitespace is allowed.
-		if strings.TrimSpace(text) != "" {
+		// Outside the root element only whitespace is allowed. Checked on
+		// the raw bytes: this run is discarded either way, so it never
+		// needs to become a string at all.
+		if !IsWhitespace(t.buf) {
 			return Token{}, t.syntaxErr("character data outside root element")
 		}
 		// Skip it and continue with the following markup or EOF.
 		return t.Next()
 	}
-	return Token{Kind: KindText, Text: text}, nil
+	if t.rawText {
+		return Token{Kind: KindText}, nil
+	}
+	return Token{Kind: KindText, Text: string(t.buf)}, nil
 }
 
 // readEntity decodes one entity reference; the leading '&' has been consumed.
@@ -291,28 +324,34 @@ func (t *Tokenizer) readStartTag() (Token, error) {
 	if t.rootClosed {
 		return Token{}, t.syntaxErr("content after root element")
 	}
-	raw, err := t.readName()
+	raw, err := t.readRawName()
 	if err != nil {
 		return Token{}, err
 	}
-	name := ParseName(raw)
+	name := InternName(raw)
 	tok := Token{Kind: KindStartElement, Name: name}
+	if t.reuseAttrs {
+		tok.Attrs = t.attrs[:0]
+	}
 	for {
 		if err := t.skipSpace(); err != nil {
-			return Token{}, t.syntaxErr("unexpected EOF in tag <%s>", raw)
+			return Token{}, t.syntaxErr("unexpected EOF in tag <%s>", name)
 		}
 		c, err := t.readByte()
 		if err != nil {
-			return Token{}, t.syntaxErr("unexpected EOF in tag <%s>", raw)
+			return Token{}, t.syntaxErr("unexpected EOF in tag <%s>", name)
 		}
 		switch c {
 		case '>':
 			t.pushElement(name)
+			if t.reuseAttrs {
+				t.attrs = tok.Attrs
+			}
 			return tok, t.err
 		case '/':
 			c2, err := t.readByte()
 			if err != nil || c2 != '>' {
-				return Token{}, t.syntaxErr("expected '>' after '/' in tag <%s>", raw)
+				return Token{}, t.syntaxErr("expected '>' after '/' in tag <%s>", name)
 			}
 			tok.SelfClosing = true
 			t.pushElement(name)
@@ -321,6 +360,9 @@ func (t *Tokenizer) readStartTag() (Token, error) {
 			}
 			t.pendingEnd = name
 			t.hasPending = true
+			if t.reuseAttrs {
+				t.attrs = tok.Attrs
+			}
 			return tok, nil
 		default:
 			t.unreadByte()
@@ -330,11 +372,11 @@ func (t *Tokenizer) readStartTag() (Token, error) {
 			}
 			for _, a := range tok.Attrs {
 				if a.Name == attr.Name {
-					return Token{}, t.syntaxErr("duplicate attribute %q in tag <%s>", attr.Name, raw)
+					return Token{}, t.syntaxErr("duplicate attribute %q in tag <%s>", attr.Name, name)
 				}
 			}
 			if len(tok.Attrs) >= MaxAttrs {
-				return Token{}, t.syntaxErr("too many attributes in tag <%s>", raw)
+				return Token{}, t.syntaxErr("too many attributes in tag <%s>", name)
 			}
 			tok.Attrs = append(tok.Attrs, attr)
 		}
@@ -364,23 +406,23 @@ func (t *Tokenizer) popElement(name Name) {
 
 // readEndTag parses "</name>"; the "</" has been consumed.
 func (t *Tokenizer) readEndTag() (Token, error) {
-	raw, err := t.readName()
+	raw, err := t.readRawName()
 	if err != nil {
 		return Token{}, err
 	}
+	name := InternName(raw)
 	if err := t.skipSpace(); err != nil {
-		return Token{}, t.syntaxErr("unexpected EOF in end tag </%s>", raw)
+		return Token{}, t.syntaxErr("unexpected EOF in end tag </%s>", name)
 	}
 	c, err := t.readByte()
 	if err != nil || c != '>' {
-		return Token{}, t.syntaxErr("expected '>' in end tag </%s>", raw)
+		return Token{}, t.syntaxErr("expected '>' in end tag </%s>", name)
 	}
-	name := ParseName(raw)
 	if len(t.open) == 0 {
-		return Token{}, t.syntaxErr("end tag </%s> with no open element", raw)
+		return Token{}, t.syntaxErr("end tag </%s> with no open element", name)
 	}
 	if top := t.open[len(t.open)-1]; top != name {
-		return Token{}, t.syntaxErr("end tag </%s> does not match <%s>", raw, top)
+		return Token{}, t.syntaxErr("end tag </%s> does not match <%s>", name, top)
 	}
 	t.popElement(name)
 	return Token{Kind: KindEndElement, Name: name}, nil
@@ -468,6 +510,9 @@ func (t *Tokenizer) readCDATA() (Token, error) {
 				brackets++
 			}
 		case c == '>' && brackets == 2:
+			if t.rawText {
+				return Token{Kind: KindText}, nil
+			}
 			return Token{Kind: KindText, Text: string(t.buf)}, nil
 		default:
 			for ; brackets > 0; brackets-- {
@@ -500,8 +545,14 @@ func (t *Tokenizer) readProcInst() (Token, error) {
 		}
 		first = false
 		if question && c == '>' {
-			text := strings.TrimLeft(string(t.buf), " \t\r\n")
-			return Token{Kind: KindProcInst, Target: target, Text: text}, nil
+			// Trim the separator whitespace on the raw bytes, then convert
+			// once — the old code materialized the untrimmed string first
+			// and trimmed the copy, paying for the data twice.
+			b := t.buf
+			for len(b) > 0 && isSpaceByte(b[0]) {
+				b = b[1:]
+			}
+			return Token{Kind: KindProcInst, Target: target, Text: string(b)}, nil
 		}
 		if question {
 			t.buf = append(t.buf, '?')
@@ -518,13 +569,15 @@ func (t *Tokenizer) readProcInst() (Token, error) {
 	}
 }
 
-// readName reads an XML name (element, attribute or PI target).
-func (t *Tokenizer) readName() (string, error) {
+// readRawName reads an XML name (element, attribute or PI target) into the
+// scratch buffer. The returned slice is valid until the buffer's next use;
+// callers convert it immediately via Intern/InternName.
+func (t *Tokenizer) readRawName() ([]byte, error) {
 	t.buf = t.buf[:0]
 	for {
 		c, err := t.readByte()
 		if err != nil {
-			return "", t.syntaxErr("unexpected EOF in name")
+			return nil, t.syntaxErr("unexpected EOF in name")
 		}
 		if isNameByte(c, len(t.buf) == 0) {
 			t.buf = append(t.buf, c)
@@ -534,37 +587,48 @@ func (t *Tokenizer) readName() (string, error) {
 		break
 	}
 	if len(t.buf) == 0 {
-		return "", t.syntaxErr("expected a name")
+		return nil, t.syntaxErr("expected a name")
 	}
-	return string(t.buf), nil
+	return t.buf, nil
 }
 
-// readAttr parses one name="value" pair.
+// readName is readRawName interned to a string.
+func (t *Tokenizer) readName() (string, error) {
+	raw, err := t.readRawName()
+	if err != nil {
+		return "", err
+	}
+	return Intern(raw), nil
+}
+
+// readAttr parses one name="value" pair. Both the name and the value are
+// interned: attribute values on SOAP traffic are overwhelmingly namespace
+// URIs and type QNames that repeat on every message.
 func (t *Tokenizer) readAttr() (Attr, error) {
-	raw, err := t.readName()
+	raw, err := t.readRawName()
 	if err != nil {
 		return Attr{}, err
 	}
+	name := InternName(raw)
 	if err := t.skipSpace(); err != nil {
-		return Attr{}, t.syntaxErr("unexpected EOF after attribute name %q", raw)
+		return Attr{}, t.syntaxErr("unexpected EOF after attribute name %q", name)
 	}
 	c, err := t.readByte()
 	if err != nil || c != '=' {
-		return Attr{}, t.syntaxErr("expected '=' after attribute name %q", raw)
+		return Attr{}, t.syntaxErr("expected '=' after attribute name %q", name)
 	}
 	if err := t.skipSpace(); err != nil {
 		return Attr{}, t.syntaxErr("unexpected EOF after '='")
 	}
 	quote, err := t.readByte()
 	if err != nil || (quote != '"' && quote != '\'') {
-		return Attr{}, t.syntaxErr("attribute value for %q must be quoted", raw)
+		return Attr{}, t.syntaxErr("attribute value for %q must be quoted", name)
 	}
-	t.buf = t.buf[:0]
-	var val []byte
+	t.val = t.val[:0]
 	for {
 		c, err := t.readByte()
 		if err != nil {
-			return Attr{}, t.syntaxErr("unterminated attribute value for %q", raw)
+			return Attr{}, t.syntaxErr("unterminated attribute value for %q", name)
 		}
 		if c == quote {
 			break
@@ -575,20 +639,20 @@ func (t *Tokenizer) readAttr() (Attr, error) {
 			if err != nil {
 				return Attr{}, err
 			}
-			val = utf8.AppendRune(val, r)
+			t.val = utf8.AppendRune(t.val, r)
 		case '<':
 			return Attr{}, t.syntaxErr("'<' not allowed in attribute value")
 		case '\t', '\n', '\r':
 			// Attribute-value normalization per XML 1.0 3.3.3.
-			val = append(val, ' ')
+			t.val = append(t.val, ' ')
 		default:
-			val = append(val, c)
+			t.val = append(t.val, c)
 		}
-		if len(val) > MaxTokenBytes {
+		if len(t.val) > MaxTokenBytes {
 			return Attr{}, t.syntaxErr("attribute value exceeds %d bytes", MaxTokenBytes)
 		}
 	}
-	return Attr{Name: ParseName(raw), Value: string(val)}, nil
+	return Attr{Name: name, Value: Intern(t.val)}, nil
 }
 
 // skipSpace consumes whitespace. It returns io.EOF if input ends.
