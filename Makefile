@@ -3,15 +3,17 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools bench figures fuzz-smoke bench-check bench-gate
+.PHONY: check build vet test race race-pools bench figures fuzz-smoke bench-check bench-gate vet-escapes
 
 ## check: the full gate — build, vet, race-enabled tests, pool-lifecycle
-## tests under -race, and the perf-regression gate vs the PR 2 baseline.
+## tests under -race, the encode-path escape audit, and the
+## perf-regression gate vs the baseline chain.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) race-pools
+	$(MAKE) vet-escapes
 	$(MAKE) bench-gate
 
 build:
@@ -49,13 +51,28 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenizer$$' -fuzztime=10s ./internal/xmltext
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
 
-## bench-check: snapshot the key benchmarks to BENCH_pr3.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr4.json (perf guard).
 bench-check:
 	$(GO) run ./cmd/benchcheck
 
-## bench-gate: fail if the key benchmarks regressed vs the PR 2 snapshot.
-## Short benchtime keeps the gate fast; the wide tolerance absorbs
-## machine noise while still catching step-function regressions.
+## bench-gate: fail if the key benchmarks regressed vs the baseline chain
+## (first file that records a benchmark wins, so each benchmark keeps the
+## baseline of the PR that introduced it). Short benchtime keeps the gate
+## fast; the wide tolerance absorbs machine noise while still catching
+## step-function regressions.
 bench-gate:
 	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
-		-baseline BENCH_pr2.json -tolerance 35
+		-baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+
+## vet-escapes: audit the streaming encode hot path for unexpected heap
+## escapes. The stack scratch buffers in the soap/soapenc writers must stay
+## on the stack; a `moved to heap` on one of them would silently reintroduce
+## the per-entry allocations this path exists to remove.
+vet-escapes:
+	@out=$$($(GO) build -gcflags='-m' ./internal/soap ./internal/soapenc 2>&1 | \
+		grep -E 'moved to heap: (tmp|local|scratch)' || true); \
+	if [ -n "$$out" ]; then \
+		echo "vet-escapes: encode-path scratch buffers escaped to the heap:"; \
+		echo "$$out"; exit 1; \
+	fi; \
+	echo "vet-escapes: encode-path scratch buffers stay on the stack"

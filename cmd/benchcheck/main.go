@@ -5,13 +5,17 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr3.json
+//	benchcheck                 # writes BENCH_pr4.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
-//	benchcheck -baseline BENCH_pr2.json -tolerance 10
+//	benchcheck -baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 10
 //	                           # compare mode: exit non-zero when a
 //	                           # benchmark regressed more than 10% in
 //	                           # ns/op or allocs/op vs the baseline
+//	                           # chain; each benchmark compares against
+//	                           # the first file in the chain that has it,
+//	                           # so benchmarks introduced mid-sequence
+//	                           # keep their original baseline
 package main
 
 import (
@@ -71,9 +75,9 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
-	baseline := flag.String("baseline", "", "baseline report to compare against (empty disables)")
+	baseline := flag.String("baseline", "", "comma-separated baseline chain to compare against, first file wins per benchmark (empty disables)")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
 	flag.Parse()
 	// testing.Benchmark honours the package-level benchtime flag.
@@ -110,6 +114,20 @@ func main() {
 		}
 	}))
 	add(measure("soap/encode-64-entry", func(b *testing.B) {
+		// The server's encode hot path: a pooled stream encoder writes the
+		// envelope without intermediate buffers.
+		env := buildEnvelope(64)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := soap.NewStreamEncoder()
+			if _, err := enc.EncodeEnvelope(env); err != nil {
+				b.Fatal(err)
+			}
+			enc.Release()
+		}
+	}))
+	add(measure("soap/encode-64-entry-dom", func(b *testing.B) {
+		// The pre-streaming buffered path, kept for the ablation delta.
 		env := buildEnvelope(64)
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -202,26 +220,38 @@ func main() {
 	}
 }
 
-// compare checks the report against a baseline snapshot: any benchmark
-// whose ns/op or allocs/op regressed by more than tolerance percent fails
-// the run. Benchmarks present on only one side are reported but do not
-// fail — snapshots gain benchmarks as the codebase grows.
-func compare(path string, cur Report, tolerance float64) error {
-	blob, err := os.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("baseline: %w", err)
-	}
-	var base Report
-	if err := json.Unmarshal(blob, &base); err != nil {
-		return fmt.Errorf("baseline %s: %w", path, err)
-	}
-	byName := make(map[string]Result, len(base.Results))
-	for _, r := range base.Results {
-		byName[r.Name] = r
+// compare checks the report against a baseline chain: any benchmark whose
+// ns/op or allocs/op regressed by more than tolerance percent fails the
+// run. The chain is a comma-separated list of snapshots; each benchmark is
+// compared against the first file that records it, so a benchmark
+// introduced in PR N keeps its PR N baseline even after later snapshots
+// supersede the file for everything else. Benchmarks present on only one
+// side are reported but do not fail — snapshots gain benchmarks as the
+// codebase grows.
+func compare(spec string, cur Report, tolerance float64) error {
+	byName := make(map[string]Result)
+	for _, path := range strings.Split(spec, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base Report
+		if err := json.Unmarshal(blob, &base); err != nil {
+			return fmt.Errorf("baseline %s: %w", path, err)
+		}
+		for _, r := range base.Results {
+			if _, ok := byName[r.Name]; !ok {
+				byName[r.Name] = r
+			}
+		}
 	}
 	limit := 1 + tolerance/100
 	var failures []string
-	fmt.Printf("\ncompare vs %s (tolerance %.0f%%):\n", path, tolerance)
+	fmt.Printf("\ncompare vs %s (tolerance %.0f%%):\n", spec, tolerance)
 	for _, r := range cur.Results {
 		b, ok := byName[r.Name]
 		if !ok {

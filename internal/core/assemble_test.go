@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// These tests pin the DOM-free encode paths byte-identical to the buffered
+// DOM paths they replace: the streamed Parallel_Response assembler against
+// buildPackedResponse (under randomized worker completion orders), the
+// streamed packed request against buildPackedRequest, and the full streamed
+// server response against the buffered server's bytes end to end.
+
+// testNS resolves service namespaces the way the echo container does.
+func testNS(service string) string { return "urn:spi:" + service }
+
+// sampleResults builds a result set exercising every entry shape the
+// assembler encodes: multi-typed params, empty results, per-item faults
+// (minimal and fully populated, with arena-free Detail trees), and spi:id
+// values that differ from slot order.
+func sampleResults() []*rpcResult {
+	detail := xmldom.NewElement(xmltext.Name{Local: "detail"})
+	detail.AddElement(xmltext.Name{Local: "info"}).SetText("stage <3> & co")
+	return []*rpcResult{
+		{id: 0, service: "Echo", op: "echo", results: []soapenc.Field{
+			soapenc.F("msg", "a<b&c]]>\"'"), soapenc.F("n", int64(-42)),
+		}},
+		{id: 7, service: "Echo", op: "echo", results: []soapenc.Field{
+			soapenc.F("ok", true), soapenc.F("ratio", 0.25), soapenc.F("blob", []byte{0, 1, 2, 0xff}),
+		}},
+		{id: 2, service: "Echo", op: "slow", fault: &soap.Fault{
+			Code: soap.FaultServer, String: "deliberate <failure>", Actor: "urn:actor", Detail: detail,
+		}},
+		{id: 3, service: "WeatherService", op: "GetWeather", results: []soapenc.Field{
+			soapenc.F("GetWeatherResult", "Sunny in \tBeijing\n"),
+		}},
+		{id: 4, service: "Echo", op: "echo", results: nil},
+		{id: 5, service: "Echo", op: "fail", fault: &soap.Fault{
+			Code: FaultCodeTimeout, String: "deadline expired before Echo.fail finished",
+		}},
+		{id: 6, service: "Echo", op: "echo", results: []soapenc.Field{
+			soapenc.F("when", time.Date(2026, 8, 5, 12, 34, 56, 789000000, time.UTC)),
+			soapenc.F("nothing", nil),
+		}},
+	}
+}
+
+// assembleStreamed replays dispatchPackedStream's assembly loop: results are
+// delivered into the collector from another goroutine in the given order
+// while the reorder window drains contiguous completed slots, then the
+// closed fragment bytes are returned.
+func assembleStreamed(t *testing.T, results []*rpcResult, order []int) string {
+	t.Helper()
+	col := newStreamCollector()
+	for range results {
+		col.addSlot()
+	}
+	asm := newPackedAssembler()
+	defer asm.release()
+
+	go func() {
+		for _, slot := range order {
+			col.deliver(slot, results[slot])
+		}
+	}()
+
+	ctx := context.Background()
+	for asm.next < len(results) {
+		asm.drain(col, testNS)
+		if asm.failed != nil || asm.next >= len(results) {
+			break
+		}
+		col.waitSlot(ctx, asm.next)
+	}
+	if asm.failed != nil {
+		t.Fatalf("assembler failed: %v", asm.failed)
+	}
+	asm.em.End() // Parallel_Response
+	if err := asm.em.Finish(); err != nil {
+		t.Fatalf("fragment finish: %v", err)
+	}
+	return string(asm.em.Bytes())
+}
+
+func TestStreamAssemblerFragmentParity(t *testing.T) {
+	results := sampleResults()
+	dom, err := buildPackedResponse(results, testNS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dom.String()
+
+	orders := [][]int{
+		{0, 1, 2, 3, 4, 5, 6},
+		{6, 5, 4, 3, 2, 1, 0}, // head delivered last: window parks on slot 0
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		order := rand.New(rand.NewSource(seed)).Perm(len(results))
+		orders = append(orders, order)
+	}
+	for _, order := range orders {
+		got := assembleStreamed(t, results, order)
+		if got != want {
+			t.Fatalf("fragment diverges for delivery order %v:\nstreamed: %s\nbuffered: %s", order, got, want)
+		}
+	}
+	if asm := newPackedAssembler(); asm.itemFaults != 0 {
+		t.Errorf("fresh assembler itemFaults = %d", asm.itemFaults)
+	} else {
+		asm.release()
+	}
+}
+
+// TestStreamAssemblerPoolRecycling hammers the pooled fragment emitters from
+// concurrent assemblers with distinct payloads; recycled buffers must never
+// bleed one response's bytes into another. Run with -race.
+func TestStreamAssemblerPoolRecycling(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for round := 0; round < 25; round++ {
+				tag := fmt.Sprintf("g%d-r%d", g, round)
+				results := []*rpcResult{
+					{id: 0, service: "Echo", op: "echo", results: []soapenc.Field{soapenc.F("tag", tag)}},
+					{id: 1, service: "Echo", op: "echo", results: []soapenc.Field{soapenc.F("n", int64(g*100 + round))}},
+					{id: 2, service: "Echo", op: "fail", fault: &soap.Fault{Code: soap.FaultServer, String: "boom " + tag}},
+				}
+				dom, err := buildPackedResponse(results, testNS)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := assembleStreamed(t, results, rng.Perm(len(results)))
+				if want := dom.String(); got != want {
+					t.Errorf("round %s diverged:\nstreamed: %s\nbuffered: %s", tag, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestStreamRequestDocParity pins the client's DOM-free request encoders —
+// Batch.encodeRequest and the single-call appendRequestEntry path — to the
+// bytes of the DOM path (buildPackedRequest / encodeRequestElement wrapped
+// in an Envelope).
+func TestStreamRequestDocParity(t *testing.T) {
+	sys := newSystem(t, nil)
+	sys.client.Define("WeatherService", "urn:weather:v2")
+
+	params := [][]soapenc.Field{
+		{soapenc.F("msg", "x<y&z\""), soapenc.F("n", int64(9))},
+		{soapenc.F("CityName", "São Paulo")},
+		nil,
+		{soapenc.F("blob", []byte("raw\x00bytes")), soapenc.F("flag", false)},
+	}
+	b := sys.client.NewBatch()
+	b.Add("Echo", "echo", params[0]...)
+	b.Add("WeatherService", "GetWeather", params[1]...)
+	b.Add("Echo", "slow", params[2]...)
+	b.Add("Echo", "echo", params[3]...)
+
+	doc, release, err := b.encodeRequest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	pm, err := b.buildPackedElement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := soap.New()
+	env.Body = []*xmldom.Element{pm}
+	var buf bytes.Buffer
+	if err := env.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(doc) != buf.String() {
+		t.Errorf("packed request diverges:\nstreamed: %s\nbuffered: %s", doc, buf.Bytes())
+	}
+
+	// Single-call path, both envelope versions.
+	for _, v := range []soap.Version{soap.V11, soap.V12} {
+		enc := soap.NewStreamEncoder()
+		enc.Begin(v, nil)
+		if err := appendRequestEntry(enc.Emitter(), "urn:spi:Echo", "echo", params[0], -1, ""); err != nil {
+			t.Fatal(err)
+		}
+		got, err := enc.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := encodeRequestElement("urn:spi:Echo", "echo", params[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		denv := soap.New()
+		denv.Version = v
+		denv.Body = []*xmldom.Element{el}
+		buf.Reset()
+		if err := denv.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != buf.String() {
+			t.Errorf("single request (%v) diverges:\nstreamed: %s\nbuffered: %s", v, got, buf.Bytes())
+		}
+		enc.Release()
+	}
+}
+
+// TestStreamResponseParityE2E posts identical packed requests to a streaming
+// server and to a buffered one (streaming disabled via a header processor)
+// and requires byte-identical responses — including per-item faults, slow
+// entries that force the reorder window to park, and spi:id overrides.
+func TestStreamResponseParityE2E(t *testing.T) {
+	streamed := newSystem(t, nil)
+	buffered := newSystem(t, func(s *ServerConfig, _ *ClientConfig) {
+		s.HeaderProcessors = []HeaderProcessor{nopHeaderProcessor{}}
+	})
+	if !streamed.server.canStream() {
+		t.Fatal("streamed system not on the streaming path")
+	}
+	if buffered.server.canStream() {
+		t.Fatal("buffered system unexpectedly on the streaming path")
+	}
+
+	docs := []string{
+		// slow entries first so later echoes complete before the window head.
+		testEnv11 + `<SOAP-ENV:Body><spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack">` +
+			`<m:slow xmlns:m="urn:spi:Echo" spi:id="0" spi:service="Echo"><p>first</p></m:slow>` +
+			`<m:slow xmlns:m="urn:spi:Echo" spi:id="1" spi:service="Echo"><p>second</p></m:slow>` +
+			`<m:echo xmlns:m="urn:spi:Echo" spi:id="2" spi:service="Echo"><msg>a&amp;b</msg><n xsi:type="xsd:int" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:xsd="http://www.w3.org/2001/XMLSchema">5</n></m:echo>` +
+			`<m:fail xmlns:m="urn:spi:Echo" spi:id="3" spi:service="Echo"/>` +
+			`<m:GetWeather xmlns:m="urn:spi:WeatherService" spi:id="4" spi:service="WeatherService"><CityName>Oslo</CityName></m:GetWeather>` +
+			`</spi:Parallel_Method></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+		// spi:id values out of order relative to slots.
+		testEnv11 + `<SOAP-ENV:Body><spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack">` +
+			`<m:echo xmlns:m="urn:spi:Echo" spi:id="9" spi:service="Echo"><msg>nine</msg></m:echo>` +
+			`<m:echo xmlns:m="urn:spi:Echo" spi:id="1" spi:service="Echo"><msg>one</msg></m:echo>` +
+			`<m:noSuchOp xmlns:m="urn:spi:Echo" spi:id="5" spi:service="Echo"/>` +
+			`</spi:Parallel_Method></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+		// Single unfaulted entry.
+		testEnv11 + `<SOAP-ENV:Body><spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack">` +
+			`<m:echo xmlns:m="urn:spi:Echo" spi:id="0" spi:service="Echo"><msg>solo</msg></m:echo>` +
+			`</spi:Parallel_Method></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+	}
+	for i, doc := range docs {
+		sResp, err := streamed.client.http.Post("/services/", "text/xml", []byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bResp, err := buffered.client.http.Post("/services/", "text/xml", []byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sResp.StatusCode != bResp.StatusCode {
+			t.Errorf("doc %d: status %d (streamed) != %d (buffered)", i, sResp.StatusCode, bResp.StatusCode)
+		}
+		if sc, bc := sResp.Header.Get("Content-Type"), bResp.Header.Get("Content-Type"); sc != bc {
+			t.Errorf("doc %d: content-type %q != %q", i, sc, bc)
+		}
+		if !bytes.Equal(sResp.Body, bResp.Body) {
+			t.Errorf("doc %d: response bytes diverge:\nstreamed: %s\nbuffered: %s", i, sResp.Body, bResp.Body)
+		}
+		if !strings.Contains(string(sResp.Body), "Parallel_Response") {
+			t.Errorf("doc %d: response is not packed: %s", i, sResp.Body)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -281,12 +280,15 @@ func (c *Client) CallCtx(ctx context.Context, service, op string, params ...soap
 	return results, nil
 }
 
-// callOnce performs one attempt of a single-message call.
+// callOnce performs one attempt of a single-message call. The response is
+// decoded from a pooled arena released before return; everything handed to
+// the caller (decoded params, detached faults) is copied off it by then.
 func (c *Client) callOnce(ctx context.Context, service, op string, params []soapenc.Field) ([]soapenc.Field, error) {
 	target := c.cfg.PathPrefix + service
 	tr := c.cfg.Tracer
 
 	var respEnv *soap.Envelope
+	var release func()
 	var err error
 	if c.templates != nil {
 		// Template-cache fast path: splice values into the cached
@@ -304,19 +306,20 @@ func (c *Client) callOnce(ctx context.Context, service, op string, params []soap
 				tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
 					ID: -1, Op: service + "." + op, Start: packStart, Service: time.Since(packStart)})
 			}
-			respEnv, err = c.post(ctx, target, doc)
+			respEnv, release, err = c.postPooled(ctx, target, doc)
 		} else {
-			respEnv, err = c.exchangeCall(ctx, target, service, op, params)
+			respEnv, release, err = c.exchangeCall(ctx, target, service, op, params)
 		}
 	} else {
-		respEnv, err = c.exchangeCall(ctx, target, service, op, params)
+		respEnv, release, err = c.exchangeCall(ctx, target, service, op, params)
 	}
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if f := respEnv.Fault(); f != nil {
 		c.faults.Add(1)
-		return nil, f
+		return nil, detachFault(f)
 	}
 	if len(respEnv.Body) != 1 {
 		return nil, fmt.Errorf("core: response has %d body entries", len(respEnv.Body))
@@ -344,13 +347,41 @@ func (c *Client) traceCtx(ctx context.Context) context.Context {
 	return trace.NewContext(ctx, tr.Begin())
 }
 
-// exchangeCall serializes one RPC request through the DOM path.
-func (c *Client) exchangeCall(ctx context.Context, target, service, op string, params []soapenc.Field) (*soap.Envelope, error) {
-	reqEl, err := encodeRequestElement(c.NamespaceOf(service), op, params)
-	if err != nil {
-		return nil, fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
+// exchangeCall serializes one RPC request. Without header providers the
+// request document streams straight into a pooled buffer — no DOM is
+// built; with them it falls back to the DOM path, which providers need
+// for the canonical body serialization.
+func (c *Client) exchangeCall(ctx context.Context, target, service, op string, params []soapenc.Field) (*soap.Envelope, func(), error) {
+	if len(c.cfg.HeaderProviders) > 0 {
+		reqEl, err := encodeRequestElement(c.NamespaceOf(service), op, params)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
+		}
+		return c.exchange(ctx, target, []*xmldom.Element{reqEl})
 	}
-	return c.exchange(ctx, target, []*xmldom.Element{reqEl})
+	tr := c.cfg.Tracer
+	var packStart time.Time
+	if tr.Enabled() {
+		packStart = time.Now()
+	}
+	enc := soap.NewStreamEncoder()
+	enc.Begin(c.version(), nil)
+	if err := appendRequestEntry(enc.Emitter(), c.NamespaceOf(service), op, params, -1, ""); err != nil {
+		enc.Release()
+		return nil, nil, fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
+	}
+	doc, err := enc.Finish()
+	if err != nil {
+		enc.Release()
+		return nil, nil, fmt.Errorf("core: encoding envelope: %w", err)
+	}
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
+			ID: -1, Op: target, Start: packStart, Service: time.Since(packStart)})
+	}
+	respEnv, release, perr := c.postPooled(ctx, target, doc)
+	enc.Release()
+	return respEnv, release, perr
 }
 
 // Call is a pending invocation: a future resolved when its response (or
@@ -406,15 +437,30 @@ func (c *Client) GoCtx(ctx context.Context, service, op string, params ...soapen
 type Batch struct {
 	client *Client
 	// entries and calls are parallel slices indexed by correlation id.
-	entries  []*packedEntry
-	calls    []*Call
-	sent     bool
-	buildErr error
+	entries []batchEntry
+	calls   []*Call
+	sent    bool
+}
+
+// batchEntry is one queued invocation in decoded form. Serialization is
+// deferred to Send, where the whole packed document streams into one
+// pooled buffer instead of building a request DOM per entry.
+type batchEntry struct {
+	service string
+	op      string
+	ns      string
+	params  []soapenc.Field
 }
 
 // NewBatch starts an empty batch.
 func (c *Client) NewBatch() *Batch {
-	return &Batch{client: c}
+	// Batches in the paper's range (8-128 calls) hit at most a few slice
+	// growth steps from a non-trivial starting capacity.
+	return &Batch{
+		client:  c,
+		entries: make([]batchEntry, 0, 8),
+		calls:   make([]*Call, 0, 8),
+	}
 }
 
 // Add appends an invocation to the batch and returns its future.
@@ -424,11 +470,9 @@ func (b *Batch) Add(service, op string, params ...soapenc.Field) *Call {
 		call.resolve(nil, fmt.Errorf("core: Add after Send"))
 		return call
 	}
-	el, err := encodeRequestElement(b.client.NamespaceOf(service), op, params)
-	if err != nil && b.buildErr == nil {
-		b.buildErr = fmt.Errorf("core: encoding %s.%s: %w", service, op, err)
-	}
-	b.entries = append(b.entries, &packedEntry{service: service, element: el})
+	b.entries = append(b.entries, batchEntry{
+		service: service, op: op, ns: b.client.NamespaceOf(service), params: params,
+	})
 	b.calls = append(b.calls, call)
 	b.client.calls.Add(1)
 	return call
@@ -459,10 +503,6 @@ func (b *Batch) SendCtx(ctx context.Context) error {
 	if len(b.calls) == 0 {
 		return fmt.Errorf("core: empty batch")
 	}
-	if b.buildErr != nil {
-		b.resolveAll(nil, b.buildErr)
-		return b.buildErr
-	}
 	ctx = b.client.traceCtx(ctx)
 	if _, has := ctx.Deadline(); !has && b.client.cfg.BatchTimeout > 0 {
 		var cancel context.CancelFunc
@@ -470,21 +510,113 @@ func (b *Batch) SendCtx(ctx context.Context) error {
 		defer cancel()
 	}
 
-	pm := buildPackedRequest(b.entries)
+	if len(b.client.cfg.HeaderProviders) > 0 {
+		// Header providers may vary their blocks per attempt (nonces,
+		// timestamps), so the DOM fallback re-runs them inside the retry
+		// loop, exactly as before.
+		pm, err := b.buildPackedElement()
+		if err != nil {
+			b.resolveAll(nil, err)
+			return err
+		}
+		b.client.batches.Add(1)
+		var respEnv *soap.Envelope
+		var release func()
+		err = b.client.withRetry(ctx, b.allIdempotent(), func() error {
+			env, rel, rerr := b.client.exchange(ctx, b.client.packTarget(), []*xmldom.Element{pm})
+			respEnv, release = env, rel
+			return rerr
+		})
+		b.client.noteOutcome(err)
+		if err != nil {
+			b.resolveAll(nil, err)
+			return err
+		}
+		defer release()
+		return b.dispatchResponse(ctx, respEnv)
+	}
+
+	// DOM-free fast path: stream every entry into one pooled request
+	// document, encoded once and re-sent verbatim on retries.
+	doc, encRelease, err := b.encodeRequest(ctx)
+	if err != nil {
+		b.resolveAll(nil, err)
+		return err
+	}
 	b.client.batches.Add(1)
 	var respEnv *soap.Envelope
-	err := b.client.withRetry(ctx, b.allIdempotent(), func() error {
-		env, rerr := b.client.exchange(ctx, b.client.packTarget(), []*xmldom.Element{pm})
-		respEnv = env
+	var release func()
+	err = b.client.withRetry(ctx, b.allIdempotent(), func() error {
+		env, rel, rerr := b.client.postPooled(ctx, b.client.packTarget(), doc)
+		respEnv, release = env, rel
 		return rerr
 	})
+	encRelease()
 	b.client.noteOutcome(err)
 	if err != nil {
 		b.resolveAll(nil, err)
 		return err
 	}
+	defer release()
+	return b.dispatchResponse(ctx, respEnv)
+}
+
+// encodeRequest streams the whole packed request document into a pooled
+// buffer: envelope preamble, Parallel_Method, and each entry with its
+// correlation attributes — no element tree is built. The returned bytes
+// are valid until the returned release runs.
+func (b *Batch) encodeRequest(ctx context.Context) ([]byte, func(), error) {
+	tr := b.client.cfg.Tracer
+	var packStart time.Time
+	if tr.Enabled() {
+		packStart = time.Now()
+	}
+	enc := soap.NewStreamEncoder()
+	enc.Begin(b.client.version(), nil)
+	em := enc.Emitter()
+	em.Start(namePackMethod)
+	em.Attr(nameXmlnsSpi, NSPack)
+	for i, e := range b.entries {
+		if err := appendRequestEntry(em, e.ns, e.op, e.params, i, e.service); err != nil {
+			enc.Release()
+			return nil, nil, fmt.Errorf("core: encoding %s.%s: %w", e.service, e.op, err)
+		}
+	}
+	em.End()
+	doc, err := enc.Finish()
+	if err != nil {
+		enc.Release()
+		return nil, nil, fmt.Errorf("core: encoding envelope: %w", err)
+	}
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
+			ID: -1, Op: b.client.packTarget(), Start: packStart, Service: time.Since(packStart)})
+	}
+	return doc, enc.Release, nil
+}
+
+// buildPackedElement is the DOM form of encodeRequest's body: it builds
+// each entry element and assembles the Parallel_Method tree, with the
+// same first-error-wins semantics and error text.
+func (b *Batch) buildPackedElement() (*xmldom.Element, error) {
+	entries := make([]*packedEntry, len(b.entries))
+	for i, e := range b.entries {
+		el, err := encodeRequestElement(e.ns, e.op, e.params)
+		if err != nil {
+			return nil, fmt.Errorf("core: encoding %s.%s: %w", e.service, e.op, err)
+		}
+		entries[i] = &packedEntry{service: e.service, element: el}
+	}
+	return buildPackedRequest(entries), nil
+}
+
+// dispatchResponse routes a decoded packed response to the pending calls.
+// respEnv may be arena-backed (released by the caller after return), so
+// every fault handed to a future is detached first.
+func (b *Batch) dispatchResponse(ctx context.Context, respEnv *soap.Envelope) error {
 	if f := respEnv.Fault(); f != nil {
 		b.client.faults.Add(1)
+		f = detachFault(f)
 		b.resolveAll(nil, f)
 		return f
 	}
@@ -514,7 +646,7 @@ func (b *Batch) SendCtx(ctx context.Context) error {
 			if res.fault.Code == FaultCodeTimeout {
 				b.client.resil.Timeouts.Inc()
 			}
-			call.resolve(nil, res.fault)
+			call.resolve(nil, detachFault(res.fault))
 		default:
 			call.resolve(res.results, nil)
 		}
@@ -558,8 +690,12 @@ func (c *Client) version() soap.Version {
 	return soap.V11
 }
 
-// exchange performs one envelope round trip.
-func (c *Client) exchange(ctx context.Context, target string, body []*xmldom.Element) (*soap.Envelope, error) {
+// exchange performs one envelope round trip through the DOM encode path
+// (header providers need the element tree for canonical serialization).
+// The serialized document still goes out of a pooled buffer and the reply
+// is decoded from a pooled arena; the caller runs the returned release
+// once it is done with the response envelope.
+func (c *Client) exchange(ctx context.Context, target string, body []*xmldom.Element) (*soap.Envelope, func(), error) {
 	tr := c.cfg.Tracer
 	var packStart time.Time
 	if tr.Enabled() {
@@ -573,28 +709,37 @@ func (c *Client) exchange(ctx context.Context, target string, body []*xmldom.Ele
 		for _, p := range c.cfg.HeaderProviders {
 			blocks, err := p.MakeHeaders(canonical)
 			if err != nil {
-				return nil, fmt.Errorf("core: header provider: %w", err)
+				return nil, nil, fmt.Errorf("core: header provider: %w", err)
 			}
 			env.Header = append(env.Header, blocks...)
 		}
 	}
-	var buf bytes.Buffer
-	if err := env.Encode(&buf); err != nil {
-		return nil, fmt.Errorf("core: encoding envelope: %w", err)
+	enc := soap.NewStreamEncoder()
+	doc, err := enc.EncodeEnvelope(env)
+	if err != nil {
+		enc.Release()
+		return nil, nil, fmt.Errorf("core: encoding envelope: %w", err)
 	}
 	if tr.Enabled() {
 		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
 			ID: -1, Op: target, Start: packStart, Service: time.Since(packStart)})
 	}
-	return c.post(ctx, target, buf.Bytes())
+	respEnv, release, perr := c.postPooled(ctx, target, doc)
+	enc.Release()
+	return respEnv, release, perr
 }
 
-// post ships a fully-serialized envelope and decodes the reply. A context
-// deadline rides along as the SPI-Deadline header (remaining budget in
-// milliseconds) so the server dispatches under the same clock.
-func (c *Client) post(ctx context.Context, target string, doc []byte) (*soap.Envelope, error) {
+// postPooled ships a fully-serialized envelope and decodes the reply into
+// a pooled arena. A context deadline rides along as the SPI-Deadline
+// header (remaining budget in milliseconds) so the server dispatches
+// under the same clock. On success the caller must run the returned
+// release once it is done with the envelope; decoded parameter values are
+// plain copies, but fault Detail elements are arena-owned and must be
+// detached (detachFault) before they escape.
+func (c *Client) postPooled(ctx context.Context, target string, doc []byte) (*soap.Envelope, func(), error) {
 	c.envelopes.Add(1)
-	extra := []string{"SOAPAction", `""`}
+	extra := make([]string, 0, 6)
+	extra = append(extra, "SOAPAction", `""`)
 	if deadline, ok := ctx.Deadline(); ok {
 		if budget := time.Until(deadline); budget > 0 {
 			extra = append(extra, HeaderDeadline, strconv.FormatInt(budget.Milliseconds(), 10))
@@ -605,16 +750,18 @@ func (c *Client) post(ctx context.Context, target string, doc []byte) (*soap.Env
 	}
 	resp, err := c.http.PostCtx(ctx, target, c.version().ContentType(), doc, extra...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	respEnv, decErr := soap.Decode(bytes.NewReader(resp.Body))
+	arena := xmldom.AcquireArena()
+	respEnv, decErr := soap.DecodeArenaBytes(resp.Body, arena)
 	if decErr != nil {
+		xmldom.ReleaseArena(arena)
 		if resp.StatusCode != 200 {
-			return nil, fmt.Errorf("core: HTTP %d: %s", resp.StatusCode, truncate(resp.Body, 200))
+			return nil, nil, fmt.Errorf("core: HTTP %d: %s", resp.StatusCode, truncate(resp.Body, 200))
 		}
-		return nil, fmt.Errorf("core: decoding response: %w", decErr)
+		return nil, nil, fmt.Errorf("core: decoding response: %w", decErr)
 	}
-	return respEnv, nil
+	return respEnv, func() { xmldom.ReleaseArena(arena) }, nil
 }
 
 func truncate(b []byte, n int) string {

@@ -292,10 +292,11 @@ func TestSingleRequestOnPackEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	env, err := sys.client.exchange(context.Background(), sys.client.packTarget(), []*xmldom.Element{reqEl})
+	env, release, err := sys.client.exchange(context.Background(), sys.client.packTarget(), []*xmldom.Element{reqEl})
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer release()
 	if f := env.Fault(); f != nil {
 		t.Fatal(f)
 	}

@@ -164,14 +164,16 @@ func (p *Plan) SendCtx(ctx context.Context) error {
 		return err
 	}
 	p.client.batches.Add(1)
-	respEnv, err := p.client.exchange(ctx, p.client.packTarget(), []*xmldom.Element{body})
+	respEnv, release, err := p.client.exchange(ctx, p.client.packTarget(), []*xmldom.Element{body})
 	p.client.noteOutcome(err)
 	if err != nil {
 		resolveAll(err)
 		return err
 	}
+	defer release()
 	if f := respEnv.Fault(); f != nil {
 		p.client.faults.Add(1)
+		f = detachFault(f)
 		resolveAll(f)
 		return f
 	}
@@ -192,7 +194,7 @@ func (p *Plan) SendCtx(ctx context.Context) error {
 			s.call.resolve(nil, fmt.Errorf("core: no response for plan step %d (%s.%s)", id, s.service, s.op))
 		case res.fault != nil:
 			p.client.faults.Add(1)
-			s.call.resolve(nil, res.fault)
+			s.call.resolve(nil, detachFault(res.fault))
 		default:
 			s.call.resolve(res.results, nil)
 		}

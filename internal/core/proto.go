@@ -159,8 +159,23 @@ func buildPackedResponse(results []*rpcResult, serviceNS func(service string) st
 // decodePackedResponse splits a Parallel_Response into per-id outcomes for
 // the client-side dispatcher of §3.5. The map is keyed by correlation id.
 func decodePackedResponse(el *xmldom.Element) (map[int]*rpcResult, error) {
-	out := make(map[int]*rpcResult)
-	for i, child := range el.ChildElements() {
+	n := 0
+	for _, c := range el.Children {
+		if _, ok := c.(*xmldom.Element); ok {
+			n++
+		}
+	}
+	out := make(map[int]*rpcResult, n)
+	// One slab for all entries: the count is known, so the results can't
+	// move after allocation and the map can hold pointers into it.
+	slab := make([]rpcResult, n)
+	i := -1
+	for _, c := range el.Children {
+		child, ok := c.(*xmldom.Element)
+		if !ok {
+			continue
+		}
+		i++
 		id := i
 		if v, ok := child.Attr(attrID); ok {
 			n, err := strconv.Atoi(v)
@@ -172,7 +187,8 @@ func decodePackedResponse(el *xmldom.Element) (map[int]*rpcResult, error) {
 		if _, dup := out[id]; dup {
 			return nil, fmt.Errorf("core: duplicate spi:id %d in packed response", id)
 		}
-		res := &rpcResult{id: id}
+		res := &slab[i]
+		res.id = id
 		if child.Is(soap.NSEnvelope, "Fault") {
 			res.fault = faultFromElement(child)
 		} else {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"sync"
 	"time"
@@ -44,7 +43,8 @@ func (s *Server) handleStream(ctx context.Context, req *httpx.Request, defaultSe
 	tr := s.cfg.Tracer
 
 	parseStart := time.Now()
-	d := soap.NewStreamDecoder(bytes.NewReader(req.Body), arena)
+	d := soap.AcquireStreamDecoder(req.Body, arena)
+	defer d.Release()
 	err := d.ReadPreamble()
 	parseDur := time.Since(parseStart)
 	s.phaseParse.Record(parseDur)
@@ -74,8 +74,10 @@ func (s *Server) handleStream(ctx context.Context, req *httpx.Request, defaultSe
 	}
 
 	dispatchStart := time.Now()
-	respEnv, fault := s.dispatchStream(ctx, d, headers, defaultService)
-	dispatchDur := time.Since(dispatchStart)
+	resp, respEnv, encInDispatch, fault := s.dispatchStream(ctx, d, headers, defaultService, env.Version)
+	// Encoding interleaved with the dispatch (the streamed assembler) is
+	// attributed to the encode phase, not the dispatch phase.
+	dispatchDur := time.Since(dispatchStart) - encInDispatch
 	s.phaseDispatch.Record(dispatchDur)
 	if tr.Enabled() {
 		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageDispatch,
@@ -84,12 +86,23 @@ func (s *Server) handleStream(ctx context.Context, req *httpx.Request, defaultSe
 	if fault != nil {
 		return s.faultResponse(fault, env.Version)
 	}
+	if resp != nil {
+		// Streamed assembly already produced the response bytes.
+		s.phaseEncode.Record(encInDispatch)
+		s.encodeIO.Observe(len(resp.Body), encInDispatch)
+		if tr.Enabled() {
+			tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageAssemble,
+				ID: -1, Op: req.Target, Start: dispatchStart, Service: encInDispatch})
+		}
+		return resp
+	}
 
 	respEnv.Version = env.Version
 	encodeStart := time.Now()
-	resp := s.envelopeResponse(200, respEnv)
+	resp = s.envelopeResponse(200, respEnv)
 	encodeDur := time.Since(encodeStart)
 	s.phaseEncode.Record(encodeDur)
+	s.encodeIO.Observe(len(resp.Body), encodeDur)
 	if tr.Enabled() {
 		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageAssemble,
 			ID: -1, Op: req.Target, Start: encodeStart, Service: encodeDur})
@@ -136,32 +149,36 @@ func cloneHeaders(hs []*xmldom.Element) []*xmldom.Element {
 	return out
 }
 
-// dispatchStream routes the body. A packed body streams entry by entry;
-// anything else completes the envelope and reuses the buffered dispatcher,
-// which keeps single-request and plan semantics (and their error messages)
-// in one place.
-func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, headers []*xmldom.Element, defaultService string) (*soap.Envelope, *soap.Fault) {
+// dispatchStream routes the body. A packed body streams entry by entry
+// and returns a ready HTTP response assembled incrementally; anything else
+// completes the envelope, falls back to the buffered dispatcher (which
+// keeps single-request and plan semantics and their error messages in one
+// place) and returns the envelope for the caller to encode. encDur is the
+// time the packed path spent encoding, for phase attribution.
+func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, headers []*xmldom.Element, defaultService string, v soap.Version) (*httpx.Response, *soap.Envelope, time.Duration, *soap.Fault) {
 	entry, err := d.NextEntryStart()
 	if err != nil {
-		return nil, soap.ClientFault("malformed envelope: %v", err)
+		return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
 	}
 	rctx := &registry.Context{Ctx: ctx, RequestHeaders: headers}
 	if entry != nil && isPackedRequest(entry) {
 		s.packed.Add(1)
-		return s.dispatchPackedStream(ctx, d, entry, rctx, defaultService)
+		resp, encDur, fault := s.dispatchPackedStream(ctx, d, entry, rctx, defaultService, v)
+		return resp, nil, encDur, fault
 	}
 	// Not packed: nothing to overlap, so finish decoding and fall back.
 	if entry != nil {
 		if err := d.CompleteEntry(entry); err != nil {
-			return nil, soap.ClientFault("malformed envelope: %v", err)
+			return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
 		}
 	}
 	env, err := d.Finish()
 	if err != nil {
-		return nil, soap.ClientFault("malformed envelope: %v", err)
+		return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
 	}
 	env.Header = headers
-	return s.dispatch(ctx, env, defaultService)
+	respEnv, fault := s.dispatch(ctx, env, defaultService)
+	return nil, respEnv, 0, fault
 }
 
 // streamCollector gathers results from application-stage workers when the
@@ -176,7 +193,10 @@ type streamCollector struct {
 }
 
 func newStreamCollector() *streamCollector {
-	return &streamCollector{wake: make(chan struct{}, 1)}
+	return &streamCollector{
+		results: make([]*rpcResult, 0, 8),
+		wake:    make(chan struct{}, 1),
+	}
 }
 
 // addSlot reserves the next response slot.
@@ -228,20 +248,44 @@ func (c *streamCollector) wait(ctx context.Context, want int) (degraded bool) {
 	}
 }
 
-// dispatchPackedStream is dispatchPacked fused with decoding: each
-// Parallel_Method entry is enqueued the moment its subtree closes, so the
-// first operations run while later entries are still being tokenized. The
-// protocol thread then sleeps until the last worker finishes (§3.3) or the
-// envelope deadline fires, degrading unfinished slots to per-item faults
-// exactly as the buffered path does.
-func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder, pm *xmldom.Element, rctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+// waitSlot blocks until the given slot holds a result or ctx is done,
+// reporting whether it was the deadline that ended the wait. This is the
+// reorder window's park: the assembler only ever waits on the slot at the
+// window head.
+func (c *streamCollector) waitSlot(ctx context.Context, slot int) (degraded bool) {
+	for {
+		c.mu.Lock()
+		filled := c.results[slot] != nil
+		c.mu.Unlock()
+		if filled {
+			return false
+		}
+		select {
+		case <-c.wake:
+		case <-ctx.Done():
+			return true
+		}
+	}
+}
+
+// dispatchPackedStream is dispatchPacked fused with decoding on the way in
+// and assembly on the way out: each Parallel_Method entry is enqueued the
+// moment its subtree closes, so the first operations run while later
+// entries are still being tokenized, and each entry's response bytes are
+// written to the pooled response buffer the moment the reorder window's
+// head slot completes — the protocol thread never holds a response DOM.
+// When the envelope deadline fires it degrades unfinished slots to
+// per-item faults exactly as the buffered path does; differential tests
+// pin the bytes identical under randomized completion orders.
+func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder, pm *xmldom.Element, rctx *registry.Context, defaultService string, v soap.Version) (*httpx.Response, time.Duration, *soap.Fault) {
 	col := newStreamCollector()
-	var reqs []*rpcRequest
-	pendingWork := 0
+	asm := newPackedAssembler()
+	defer asm.release()
+	reqs := make([]*rpcRequest, 0, 8)
 	for {
 		el, err := d.NextChild(pm)
 		if err != nil {
-			return nil, soap.ClientFault("malformed envelope: %v", err)
+			return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 		}
 		if el == nil {
 			break
@@ -267,64 +311,66 @@ func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder
 		task := s.appTask(ctx, r, func() { col.deliver(slot, s.execute(ctx, r, rctx)) })
 		if err := s.submitApp(task); err != nil {
 			col.fill(i, &rpcResult{id: req.id, service: req.service, op: req.op, fault: s.admissionFault(err)})
-			continue
 		}
-		pendingWork++
 	}
 	if len(reqs) == 0 {
-		return nil, soap.ClientFault("%s has no requests", ElemParallelMethod)
+		return nil, asm.encDur, soap.ClientFault("%s has no requests", ElemParallelMethod)
 	}
 
-	// Validate the rest of the document before sleeping on workers: a
+	// Validate the rest of the document before encoding anything: a
 	// malformed tail (or extra body entries) must produce the buffered
-	// path's whole-message fault. Late workers deliver into the collector
+	// path's whole-message fault, which takes precedence over any
+	// assembly error. Late workers deliver into the collector
 	// harmlessly — they hold copies, never arena nodes.
 	extra := 0
 	for {
 		el, err := d.NextEntryStart()
 		if err != nil {
-			return nil, soap.ClientFault("malformed envelope: %v", err)
+			return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 		}
 		if el == nil {
 			break
 		}
 		extra++
 		if err := d.CompleteEntry(el); err != nil {
-			return nil, soap.ClientFault("malformed envelope: %v", err)
+			return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 		}
 	}
 	if _, err := d.Finish(); err != nil {
-		return nil, soap.ClientFault("malformed envelope: %v", err)
+		return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 	}
 	if extra > 0 {
-		return nil, soap.ClientFault("expected exactly one body entry, got %d", 1+extra)
+		return nil, asm.encDur, soap.ClientFault("expected exactly one body entry, got %d", 1+extra)
 	}
 
-	if col.wait(ctx, pendingWork) {
-		// Degrade: keep completed results, fault the rest.
-		col.mu.Lock()
-		for i, r := range col.results {
-			if r == nil {
-				col.results[i] = s.abandonResult(ctx, reqs[i])
+	// In-order incremental assembly: encode each contiguous completed
+	// prefix of slots while later workers are still running, parking on
+	// the reorder window's head when it is empty. On deadline expiry,
+	// degrade every unfilled slot to a per-item fault and finish the
+	// final drain over the now-complete window.
+	for asm.next < len(reqs) {
+		asm.drain(col, s.namespaceOf)
+		if asm.failed != nil || asm.next >= len(reqs) {
+			break
+		}
+		if col.waitSlot(ctx, asm.next) {
+			col.mu.Lock()
+			for i, r := range col.results {
+				if r == nil {
+					col.results[i] = s.abandonResult(ctx, reqs[i])
+				}
 			}
+			col.mu.Unlock()
 		}
-		col.mu.Unlock()
 	}
+	if asm.failed != nil {
+		return nil, asm.encDur, soap.ServerFault("assembling packed response: %v", asm.failed)
+	}
+	s.itemFaults.Add(int64(asm.itemFaults))
 
-	col.mu.Lock()
-	results := col.results
-	col.mu.Unlock()
-	for _, r := range results {
-		if r.fault != nil {
-			s.itemFaults.Add(1)
-		}
-	}
-	respEl, err := buildPackedResponse(results, s.namespaceOf)
+	resp, err := asm.finish(v, rctx.ResponseHeaders())
 	if err != nil {
-		return nil, soap.ServerFault("assembling packed response: %v", err)
+		return encodeFailureResponse(), asm.encDur, nil
 	}
-	out := soap.New()
-	out.Header = rctx.ResponseHeaders()
-	out.AddBody(respEl)
-	return out, nil
+	return resp, asm.encDur, nil
 }

@@ -68,6 +68,11 @@ func (h *Header) Set(name, value string) {
 
 // Add appends a value to the named field.
 func (h *Header) Add(name, value string) {
+	if h.fields == nil {
+		// Typical messages carry a handful of fields; skip the 1->2->4
+		// growth reallocations.
+		h.fields = make([]field, 0, 4)
+	}
 	h.fields = append(h.fields, field{name: name, value: value})
 }
 

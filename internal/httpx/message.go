@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"net"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Limits protecting the parser from hostile or broken peers.
@@ -57,11 +59,31 @@ type Response struct {
 	Proto      string
 	Header     Header
 	Body       []byte
+
+	// release, when set, recycles pooled storage that Body aliases.
+	release func()
 }
 
 // NewResponse returns a response with the given status and body.
 func NewResponse(status int, body []byte) *Response {
 	return &Response{StatusCode: status, Proto: "HTTP/1.1", Body: body}
+}
+
+// SetRelease registers a hook that recycles pooled storage backing the
+// response (typically the encode buffer Body aliases). The server
+// transport calls Release exactly once per exchange, after the response
+// bytes have been written and every observer has run; Body must not be
+// read after that.
+func (r *Response) SetRelease(fn func()) { r.release = fn }
+
+// Release runs the registered release hook, if any. Idempotent and safe
+// on responses without one.
+func (r *Response) Release() {
+	if r.release != nil {
+		fn := r.release
+		r.release = nil
+		fn()
+	}
 }
 
 // reasonPhrase maps the status codes this stack produces.
@@ -107,9 +129,18 @@ func protoErrf(format string, args ...any) error {
 }
 
 // readLine reads one CRLF- (or LF-) terminated line, enforcing the header
-// size budget.
+// size budget. Lines that fit the reader's buffer (all of them, in
+// practice: the buffer is larger than the header budget's typical use) cost
+// one string allocation; ReadString's builder path is kept only for the
+// buffer-overflow case.
 func readLine(br *bufio.Reader, budget *int) (string, error) {
-	line, err := br.ReadString('\n')
+	slice, err := br.ReadSlice('\n')
+	line := string(slice)
+	if err == bufio.ErrBufferFull {
+		var rest string
+		rest, err = br.ReadString('\n')
+		line += rest
+	}
 	if err != nil {
 		if err == io.EOF && line == "" {
 			return "", io.EOF
@@ -255,7 +286,19 @@ func ReadResponse(br *bufio.Reader, maxBody int64) (*Response, error) {
 
 // WriteRequest serializes the request to w. It frames the body with
 // Content-Length and emits Connection: close when close is requested.
+// Requests without framing- or connection-related fields of their own —
+// every request this stack's SOAP client produces — take the same pooled
+// single-write fast path as responses.
 func WriteRequest(w io.Writer, r *Request, closeConn bool) error {
+	if !r.Header.Has("Content-Length") && !r.Header.Has("Connection") && !r.Header.Has("Transfer-Encoding") {
+		return writeRequestFast(w, r, closeConn)
+	}
+	return writeRequestFramed(w, r, closeConn)
+}
+
+// writeRequestFramed is the cloning reference path: it works for any
+// header set, at the cost of a header clone and a buffered copy.
+func writeRequestFramed(w io.Writer, r *Request, closeConn bool) error {
 	bw := bufio.NewWriterSize(w, 8<<10)
 	proto := r.Proto
 	if proto == "" {
@@ -275,9 +318,126 @@ func WriteRequest(w io.Writer, r *Request, closeConn bool) error {
 	return bw.Flush()
 }
 
+// writeRequestFast emits exactly the bytes writeRequestFramed would for a
+// request without pre-set framing fields: request line, the fields in
+// order, Content-Length, then Connection: close when requested. The header
+// block comes from a pooled buffer and goes to the kernel together with
+// the body in one writev-shaped write.
+func writeRequestFast(w io.Writer, r *Request, closeConn bool) error {
+	bp := headerBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	b = append(b, r.Method...)
+	b = append(b, ' ')
+	b = append(b, r.Target...)
+	b = append(b, ' ')
+	b = append(b, proto...)
+	b = append(b, '\r', '\n')
+	for _, f := range r.Header.fields {
+		b = append(b, f.name...)
+		b = append(b, ':', ' ')
+		b = append(b, f.value...)
+		b = append(b, '\r', '\n')
+	}
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(r.Body)), 10)
+	b = append(b, '\r', '\n')
+	if closeConn {
+		b = append(b, "Connection: close\r\n"...)
+	}
+	b = append(b, '\r', '\n')
+
+	var err error
+	if len(r.Body) > 0 {
+		bufs := net.Buffers{b, r.Body}
+		_, err = bufs.WriteTo(w)
+	} else {
+		_, err = w.Write(b)
+	}
+	if cap(b) <= maxPooledResponseHeader {
+		*bp = b[:0]
+		headerBufPool.Put(bp)
+	}
+	return err
+}
+
 // WriteResponse serializes the response to w with Content-Length framing.
+// Responses that carry no framing- or connection-related fields of their
+// own — every response this stack's SOAP layer produces — take a fast path
+// that assembles the header block in a pooled buffer and hands header and
+// body to the kernel in a single writev-shaped write, instead of cloning
+// the header and copying the body through a bufio.Writer.
 func WriteResponse(w io.Writer, r *Response, closeConn bool) error {
+	if !r.Header.Has("Content-Length") && !r.Header.Has("Connection") && !r.Header.Has("Transfer-Encoding") {
+		return writeResponseFast(w, r, closeConn)
+	}
 	return writeResponseFramed(w, r, closeConn, 0)
+}
+
+// maxPooledResponseHeader caps recycled header buffers, so one huge header
+// block does not pin memory in the pool.
+const maxPooledResponseHeader = 64 << 10
+
+// headerBufPool recycles the header blocks of the fast write paths, for
+// both directions of the exchange.
+var headerBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// writeResponseFast emits exactly the bytes writeResponseFramed would for
+// a response without pre-set Content-Length/Connection/Transfer-Encoding
+// fields: status line, the fields in order, Content-Length first among the
+// appended ones, then Connection: close when requested. Header bytes come
+// from a pooled buffer and the body is written from its own slice, so a
+// packed SOAP reply goes out without a single copy.
+func writeResponseFast(w io.Writer, r *Response, closeConn bool) error {
+	bp := headerBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	proto := r.Proto
+	if proto == "" {
+		proto = "HTTP/1.1"
+	}
+	status := r.Status
+	if status == "" {
+		status = reasonPhrase(r.StatusCode)
+	}
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(r.StatusCode), 10)
+	b = append(b, ' ')
+	b = append(b, status...)
+	b = append(b, '\r', '\n')
+	for _, f := range r.Header.fields {
+		b = append(b, f.name...)
+		b = append(b, ':', ' ')
+		b = append(b, f.value...)
+		b = append(b, '\r', '\n')
+	}
+	b = append(b, "Content-Length: "...)
+	b = strconv.AppendInt(b, int64(len(r.Body)), 10)
+	b = append(b, '\r', '\n')
+	if closeConn {
+		b = append(b, "Connection: close\r\n"...)
+	}
+	b = append(b, '\r', '\n')
+
+	var err error
+	if len(r.Body) > 0 {
+		bufs := net.Buffers{b, r.Body}
+		_, err = bufs.WriteTo(w)
+	} else {
+		_, err = w.Write(b)
+	}
+	// WriteTo may shrink bufs but never the backing arrays; keep the
+	// header buffer for reuse unless it grew past the pool cap.
+	if cap(b) <= maxPooledResponseHeader {
+		*bp = b[:0]
+		headerBufPool.Put(bp)
+	}
+	return err
 }
 
 // WriteResponseChunked serializes the response with chunked

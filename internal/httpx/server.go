@@ -269,8 +269,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.AccessLog(conn.RemoteAddr(), req, resp.StatusCode, time.Since(start))
 		}
 		// The exchange is fully over (response written, observers ran):
-		// recycle the request body buffer.
+		// recycle the request body buffer and any pooled storage backing
+		// the response.
 		release()
+		resp.Release()
 		if cancelReq != nil {
 			cancelReq()
 		}

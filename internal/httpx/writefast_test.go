@@ -1,0 +1,198 @@
+package httpx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The pooled fast write path must emit exactly the bytes the framed path
+// emits for every response the stack's SOAP layer produces, fall back when
+// a response carries its own framing fields, and recycle header buffers
+// without bleeding bytes between concurrent exchanges.
+
+// framedBytes serializes r through the buffered reference path.
+func framedBytes(t *testing.T, r *Response, closeConn bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeResponseFramed(&buf, r, closeConn, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// fastBytes serializes r through the pooled fast path.
+func fastBytes(t *testing.T, r *Response, closeConn bool) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeResponseFast(&buf, r, closeConn); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteResponseFastParity(t *testing.T) {
+	mk := func(status int, body string, hdr ...string) *Response {
+		r := NewResponse(status, []byte(body))
+		for i := 0; i+1 < len(hdr); i += 2 {
+			r.Header.Set(hdr[i], hdr[i+1])
+		}
+		return r
+	}
+	cases := []*Response{
+		mk(200, "<Envelope/>", "Content-Type", "text/xml; charset=utf-8"),
+		mk(200, ""),
+		mk(500, "response encoding failed\n", "Content-Type", "text/plain"),
+		mk(404, "gone", "Content-Type", "text/plain", "X-Extra", "a, b"),
+		mk(202, strings.Repeat("x", 9000)), // larger than the bufio writer's 8 KiB
+	}
+	// Unknown status code exercises the derived reason phrase; explicit
+	// Status exercises the pass-through.
+	odd := NewResponse(299, []byte("?"))
+	cases = append(cases, odd)
+	withStatus := NewResponse(200, []byte("ok"))
+	withStatus.Status = "Fine"
+	withStatus.Proto = "HTTP/1.0"
+	cases = append(cases, withStatus)
+
+	for i, r := range cases {
+		for _, closeConn := range []bool{false, true} {
+			want := framedBytes(t, r, closeConn)
+			got := fastBytes(t, r, closeConn)
+			if got != want {
+				t.Errorf("case %d closeConn=%v:\nfast:   %q\nframed: %q", i, closeConn, got, want)
+			}
+		}
+	}
+}
+
+// TestWriteResponseGate pins the dispatch in WriteResponse: responses that
+// carry their own framing- or connection-related fields must take the
+// cloning framed path (which overrides Content-Length), not the fast path
+// (which would emit the field twice).
+func TestWriteResponseGate(t *testing.T) {
+	for _, name := range []string{"Content-Length", "Connection", "Transfer-Encoding"} {
+		r := NewResponse(200, []byte("hello"))
+		r.Header.Set("Content-Type", "text/plain")
+		r.Header.Set(name, "sentinel")
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, r, false); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		if strings.Count(out, "Content-Length:") != 1 {
+			t.Errorf("%s pre-set: Content-Length appears %d times in %q",
+				name, strings.Count(out, "Content-Length:"), out)
+		}
+		if name == "Content-Length" && strings.Contains(out, "sentinel") {
+			t.Errorf("pre-set Content-Length not overridden by framing: %q", out)
+		}
+	}
+
+	// No framing fields: WriteResponse must match the framed reference.
+	r := NewResponse(200, []byte("fast"))
+	r.Header.Set("Content-Type", "text/plain")
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), framedBytes(t, r, true); got != want {
+		t.Errorf("WriteResponse fast path diverges:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+// TestWriteRequestFastParity pins the request fast path to the framed
+// reference, and the gate that keeps self-framed requests off it.
+func TestWriteRequestFastParity(t *testing.T) {
+	framed := func(r *Request, closeConn bool) string {
+		var buf bytes.Buffer
+		if err := writeRequestFramed(&buf, r, closeConn); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := []*Request{
+		NewRequest("POST", "/services/Echo", []byte("<Envelope/>")),
+		NewRequest("GET", "/services/Echo?wsdl", nil),
+		NewRequest("POST", "/services", []byte(strings.Repeat("y", 9000))),
+	}
+	cases[0].Header.Set("Content-Type", "text/xml; charset=utf-8")
+	cases[0].Header.Set("SOAPAction", `""`)
+	proto10 := NewRequest("POST", "/x", []byte("b"))
+	proto10.Proto = "HTTP/1.0"
+	cases = append(cases, proto10)
+
+	for i, r := range cases {
+		for _, closeConn := range []bool{false, true} {
+			var buf bytes.Buffer
+			if err := WriteRequest(&buf, r, closeConn); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := buf.String(), framed(r, closeConn); got != want {
+				t.Errorf("case %d closeConn=%v:\nfast:   %q\nframed: %q", i, closeConn, got, want)
+			}
+		}
+	}
+
+	// A request carrying its own Connection field must use the cloning path
+	// (the fast path would emit Connection twice when closeConn is set).
+	r := NewRequest("POST", "/x", []byte("b"))
+	r.Header.Set("Connection", "keep-alive")
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, r, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "Connection:") != 1 {
+		t.Errorf("pre-set Connection duplicated: %q", buf.String())
+	}
+}
+
+func TestResponseReleaseIdempotent(t *testing.T) {
+	var calls int
+	r := NewResponse(200, nil)
+	r.Release() // no hook: must be a no-op
+	r.SetRelease(func() { calls++ })
+	r.Release()
+	r.Release()
+	if calls != 1 {
+		t.Errorf("release hook ran %d times, want 1", calls)
+	}
+}
+
+// TestResponseHeaderPoolRecycling drives the pooled header buffers from
+// many goroutines with distinct responses; every serialization must carry
+// exactly its own status and headers. Run with -race.
+func TestResponseHeaderPoolRecycling(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tag := fmt.Sprintf("g%d-i%d", g, i)
+				r := NewResponse(200, []byte("body-"+tag))
+				r.Header.Set("X-Tag", tag)
+				want := framedBytes(t, r, i%2 == 0)
+				got := fastBytes(t, r, i%2 == 0)
+				if got != want {
+					t.Errorf("%s: fast path diverged under concurrency:\ngot:  %q\nwant: %q", tag, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestWriteResponseFastOversizedNotPooled exercises the pool cap: a header
+// block past maxPooledResponseHeader must still serialize correctly (and
+// simply not be recycled).
+func TestWriteResponseFastOversizedNotPooled(t *testing.T) {
+	r := NewResponse(200, []byte("x"))
+	r.Header.Set("X-Big", strings.Repeat("v", maxPooledResponseHeader))
+	if got, want := fastBytes(t, r, false), framedBytes(t, r, false); got != want {
+		t.Error("oversized header block diverged from framed path")
+	}
+}

@@ -75,6 +75,39 @@ func (s ResilienceSummary) String() string {
 		s.Retries, s.Timeouts, s.Cancellations, s.Shed)
 }
 
+// StageIO accumulates the byte and time volume of one pipeline stage
+// (e.g. response encoding), cheap enough for per-message hot paths: two
+// atomic adds per observation, no locks, no samples retained. The zero
+// value is ready.
+type StageIO struct {
+	bytes atomic.Int64
+	nanos atomic.Int64
+}
+
+// Observe adds one stage execution that processed n bytes in d.
+func (s *StageIO) Observe(n int, d time.Duration) {
+	s.bytes.Add(int64(n))
+	s.nanos.Add(int64(d))
+}
+
+// Snapshot copies the current totals.
+func (s *StageIO) Snapshot() StageIOSummary {
+	return StageIOSummary{Bytes: s.bytes.Load(), Ns: s.nanos.Load()}
+}
+
+// StageIOSummary is a point-in-time copy of a StageIO counter pair.
+type StageIOSummary struct {
+	// Bytes is the total payload volume the stage processed.
+	Bytes int64 `json:"bytes"`
+	// Ns is the total time the stage spent, in nanoseconds.
+	Ns int64 `json:"ns"`
+}
+
+// String formats the summary compactly for experiment logs.
+func (s StageIOSummary) String() string {
+	return fmt.Sprintf("bytes=%d ns=%d", s.Bytes, s.Ns)
+}
+
 // Recorder accumulates duration samples. Safe for concurrent use.
 type Recorder struct {
 	mu      sync.Mutex

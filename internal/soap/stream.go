@@ -3,6 +3,7 @@ package soap
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/xmldom"
 	"repro/internal/xmltext"
@@ -58,6 +59,50 @@ func NewStreamDecoder(r io.Reader, a *xmldom.Arena) *StreamDecoder {
 	tk.SetRawText(true)
 	tk.SetReuseTokenAttrs(true)
 	return &StreamDecoder{tk: tk, arena: a, env: New()}
+}
+
+// streamDecoderPool recycles StreamDecoders (and, through them, pooled
+// tokenizers) across requests on the server's streaming fast path.
+var streamDecoderPool = sync.Pool{New: func() any { return &StreamDecoder{} }}
+
+// AcquireStreamDecoder is NewStreamDecoder over an in-memory document on
+// pooled machinery: the decoder, its tokenizer and the tokenizer's read
+// buffer are all reused across requests. Call Release when the exchange is
+// over; after that the decoder AND the Envelope it produced are invalid
+// (the nodes inside follow the arena's lifecycle as usual). Callers that
+// let the envelope outlive the exchange must use NewStreamDecoder.
+func AcquireStreamDecoder(body []byte, a *xmldom.Arena) *StreamDecoder {
+	d := streamDecoderPool.Get().(*StreamDecoder)
+	tk := xmltext.AcquireTokenizer(body)
+	tk.SetRawText(true)
+	tk.SetReuseTokenAttrs(true)
+	if d.env == nil {
+		d.env = New()
+	} else {
+		*d.env = Envelope{}
+	}
+	d.tk = tk
+	d.arena = a
+	d.nsEnv = ""
+	d.root, d.body = nil, nil
+	d.state = streamInit
+	return d
+}
+
+// Release returns a decoder obtained from AcquireStreamDecoder to the
+// pool. Safe on any decoder state, including after errors.
+func (d *StreamDecoder) Release() {
+	if d.tk != nil {
+		xmltext.ReleaseTokenizer(d.tk)
+		d.tk = nil
+	}
+	if d.env != nil {
+		// Drop header/body references so the pool never pins request trees.
+		*d.env = Envelope{}
+	}
+	d.arena = nil
+	d.root, d.body = nil, nil
+	streamDecoderPool.Put(d)
 }
 
 // ReadPreamble consumes tokens up to and including the Body start tag:
@@ -285,6 +330,16 @@ var errEmptyEnvelope = fmt.Errorf("empty document")
 // responses they fully consume before releasing the arena.
 func DecodeArena(r io.Reader, a *xmldom.Arena) (*Envelope, error) {
 	root, err := xmldom.ParseInArena(r, a)
+	if err != nil {
+		return nil, fmt.Errorf("soap: %w", err)
+	}
+	return FromElement(root)
+}
+
+// DecodeArenaBytes is DecodeArena over an in-memory document, parsed on a
+// pooled tokenizer — the client's response-decode hot path.
+func DecodeArenaBytes(b []byte, a *xmldom.Arena) (*Envelope, error) {
+	root, err := xmldom.ParseBytesInArena(b, a)
 	if err != nil {
 		return nil, fmt.Errorf("soap: %w", err)
 	}

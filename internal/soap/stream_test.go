@@ -2,8 +2,10 @@ package soap
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/xmldom"
@@ -340,4 +342,103 @@ func FuzzStreamDecoder(f *testing.F) {
 			}
 		}
 	})
+}
+
+// streamDecodeAllPooled mirrors streamDecodeAll on a pooled decoder and
+// returns the envelope serialized, since the envelope itself dies with the
+// decoder's release.
+func streamDecodeAllPooled(doc string, a *xmldom.Arena) (string, error) {
+	d := AcquireStreamDecoder([]byte(doc), a)
+	defer d.Release()
+	if err := d.ReadPreamble(); err != nil {
+		return "", err
+	}
+	for {
+		entry, err := d.NextEntryStart()
+		if err != nil {
+			return "", err
+		}
+		if entry == nil {
+			break
+		}
+		if err := d.CompleteEntry(entry); err != nil {
+			return "", err
+		}
+	}
+	env, err := d.Finish()
+	if err != nil {
+		return "", err
+	}
+	return env.Element().String(), nil
+}
+
+// TestStreamDecoderPoolRecycling checks pooled decoders against fresh
+// Decode over distinct documents from concurrent goroutines — with -race
+// this doubles as the pool's data-race check, and the serialized
+// comparison catches any state leaking between recycled decoders.
+func TestStreamDecoderPoolRecycling(t *testing.T) {
+	const workers, rounds = 8, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				doc := fmt.Sprintf(`<?xml version="1.0"?>`+streamEnv11+
+					`<SOAP-ENV:Header><h:t xmlns:h="urn:h">w%dr%d</h:t></SOAP-ENV:Header>`+
+					`<SOAP-ENV:Body><m:op%d xmlns:m="urn:w%d"><v>%d &amp; %d</v></m:op%d></SOAP-ENV:Body></SOAP-ENV:Envelope>`,
+					w, r, r, w, w, r, r)
+				arena := xmldom.AcquireArena()
+				got, err := streamDecodeAllPooled(doc, arena)
+				if err != nil {
+					xmldom.ReleaseArena(arena)
+					t.Errorf("worker %d round %d: pooled: %v", w, r, err)
+					return
+				}
+				xmldom.ReleaseArena(arena)
+				env, err := Decode(strings.NewReader(doc))
+				if err != nil {
+					t.Errorf("worker %d round %d: Decode: %v", w, r, err)
+					return
+				}
+				if want := env.Element().String(); got != want {
+					t.Errorf("worker %d round %d: pooled %q, fresh %q", w, r, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestStreamDecoderPoolErrorRelease pins that Release is safe in every
+// decoder state: never started, failed preamble, failed mid-body, done.
+func TestStreamDecoderPoolErrorRelease(t *testing.T) {
+	for _, doc := range []string{
+		``,
+		`<Envelope xmlns="urn:not-soap"><Body/></Envelope>`,
+		streamEnv11 + `<SOAP-ENV:Body><a></b>`,
+		streamEnv11 + `<SOAP-ENV:Body/></SOAP-ENV:Envelope>`,
+	} {
+		d := AcquireStreamDecoder([]byte(doc), nil)
+		if err := d.ReadPreamble(); err == nil {
+			for {
+				entry, err := d.NextEntryStart()
+				if err != nil || entry == nil {
+					break
+				}
+				if err := d.CompleteEntry(entry); err != nil {
+					break
+				}
+			}
+			_, _ = d.Finish()
+		}
+		d.Release()
+	}
+	// The pool must hand back working decoders afterwards.
+	doc := streamEnv11 + `<SOAP-ENV:Body><m:ok xmlns:m="urn:m"/></SOAP-ENV:Body></SOAP-ENV:Envelope>`
+	got, err := streamDecodeAllPooled(doc, nil)
+	if err != nil || !strings.Contains(got, "m:ok") {
+		t.Fatalf("after error releases: %q, %v", got, err)
+	}
 }

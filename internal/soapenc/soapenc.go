@@ -231,7 +231,7 @@ func Decode(el *xmldom.Element) (Value, error) {
 	ts, ok := typeOf(el)
 	if !ok {
 		// No xsi:type: decide structurally.
-		if len(el.ChildElements()) > 0 {
+		if hasElementChild(el) {
 			return decodeStruct(el)
 		}
 		return el.Text(), nil
@@ -245,11 +245,22 @@ func Decode(el *xmldom.Element) (Value, error) {
 	default:
 		// Unknown type annotation: fall back to structural decoding, like
 		// the lenient toolkits did.
-		if len(el.ChildElements()) > 0 {
+		if hasElementChild(el) {
 			return decodeStruct(el)
 		}
 		return el.Text(), nil
 	}
+}
+
+// hasElementChild reports whether el has an element child, without
+// materializing the ChildElements slice.
+func hasElementChild(el *xmldom.Element) bool {
+	for _, c := range el.Children {
+		if _, ok := c.(*xmldom.Element); ok {
+			return true
+		}
+	}
+	return false
 }
 
 type typeRef struct{ ns, local string }
@@ -357,15 +368,26 @@ func EncodeParams(parent *xmldom.Element, params []Field) error {
 }
 
 // DecodeParams decodes every child element of el as a named parameter.
+// It walks el.Children directly rather than materializing a ChildElements
+// slice — this runs once per entry on both hot decode paths.
 func DecodeParams(el *xmldom.Element) ([]Field, error) {
-	kids := el.ChildElements()
-	params := make([]Field, 0, len(kids))
-	for _, c := range kids {
-		v, err := Decode(c)
+	n := 0
+	for _, c := range el.Children {
+		if _, ok := c.(*xmldom.Element); ok {
+			n++
+		}
+	}
+	params := make([]Field, 0, n)
+	for _, c := range el.Children {
+		ce, ok := c.(*xmldom.Element)
+		if !ok {
+			continue
+		}
+		v, err := Decode(ce)
 		if err != nil {
 			return nil, err
 		}
-		params = append(params, Field{Name: c.Name.Local, Value: v})
+		params = append(params, Field{Name: ce.Name.Local, Value: v})
 	}
 	return params, nil
 }

@@ -265,6 +265,20 @@ func ParseInArena(r io.Reader, a *Arena) (*Element, error) {
 	return parseDocument(tk, a)
 }
 
+// ParseBytesInArena is ParseInArena over an in-memory document, run on a
+// pooled tokenizer: repeated decodes reuse one read buffer instead of
+// allocating a reader and tokenizer per document. The returned tree copies
+// everything it keeps (names are interned, text and attribute values are
+// materialized), so it never aliases the tokenizer or b.
+func ParseBytesInArena(b []byte, a *Arena) (*Element, error) {
+	tk := xmltext.AcquireTokenizer(b)
+	tk.SetRawText(true)
+	tk.SetReuseTokenAttrs(true)
+	el, err := parseDocument(tk, a)
+	xmltext.ReleaseTokenizer(tk)
+	return el, err
+}
+
 // parseDocument reads a whole document from an already-configured
 // tokenizer. Shared by Parse and ParseInArena.
 func parseDocument(tk *xmltext.Tokenizer, a *Arena) (*Element, error) {

@@ -1,0 +1,88 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltext"
+)
+
+func buildPackedTree(entries int) *Element {
+	root := NewElement(xmltext.Name{Prefix: "spi", Local: "Parallel_Response"})
+	root.DeclareNamespace("spi", "http://spi.ict.ac.cn/pack")
+	for i := 0; i < entries; i++ {
+		entry := root.AddElement(xmltext.Name{Prefix: "m", Local: "echoResponse"})
+		entry.DeclareNamespace("m", "urn:spi:Echo")
+		entry.SetAttr(xmltext.Name{Prefix: "spi", Local: "id"}, "1")
+		data := entry.AddElement(xmltext.Name{Local: "data"})
+		data.SetAttr(xmltext.Name{Prefix: "xsi", Local: "type"}, "xsd:string")
+		data.SetText("payload with <specials> & \"quotes\"")
+	}
+	return root
+}
+
+// TestStringMatchesSerialize pins the sized String() path byte-identical
+// to the streaming Serialize path.
+func TestStringMatchesSerialize(t *testing.T) {
+	trees := []*Element{
+		NewElement(xmltext.Name{Local: "empty"}),
+		buildPackedTree(1),
+		buildPackedTree(16),
+	}
+	withComment := NewElement(xmltext.Name{Local: "a"})
+	withComment.AddChild(&Comment{Data: " note "})
+	withComment.AddChild(&Text{Data: ""})
+	trees = append(trees, withComment)
+
+	for _, tree := range trees {
+		var b strings.Builder
+		if err := tree.Serialize(&b); err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.String(); got != b.String() {
+			t.Fatalf("String() diverged from Serialize:\n%q\nvs\n%q", got, b.String())
+		}
+	}
+}
+
+func TestSerializedLenExact(t *testing.T) {
+	trees := []*Element{
+		NewElement(xmltext.Name{Local: "empty"}),
+		buildPackedTree(4),
+		buildPackedTree(64),
+	}
+	mixed := NewElement(xmltext.Name{Local: "mixed"})
+	mixed.AddChild(&Text{Data: "a<b&c\r"})
+	mixed.AddChild(&Comment{Data: "c"})
+	mixed.AddChild(&Text{Data: "\xffbad"})
+	mixed.SetAttr(xmltext.Name{Local: "q"}, "v\"w\tx\ny")
+	trees = append(trees, mixed)
+
+	for _, tree := range trees {
+		got := tree.SerializedLen()
+		want := len(tree.String())
+		if got != want {
+			t.Fatalf("SerializedLen=%d, actual serialization is %d bytes: %q",
+				got, want, tree.String())
+		}
+	}
+}
+
+func TestStringErrorPreserved(t *testing.T) {
+	bad := NewElement(xmltext.Name{Local: "a"})
+	bad.AddChild(&Comment{Data: "a--b"})
+	got := bad.String()
+	if !strings.HasPrefix(got, "<!ERROR ") || !strings.Contains(got, "comment contains") {
+		t.Fatalf("error rendering changed: %q", got)
+	}
+}
+
+func BenchmarkElementString(b *testing.B) {
+	tree := buildPackedTree(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := tree.String(); len(s) == 0 {
+			b.Fatal("empty serialization")
+		}
+	}
+}

@@ -29,6 +29,9 @@ type Node interface {
 	node()
 	// writeTo streams the node into an xmltext.Writer.
 	writeTo(w *xmltext.Writer)
+	// appendTo emits the node into an xmltext.Emitter (the append-based
+	// encode path); byte output matches writeTo on a compact Writer.
+	appendTo(e *xmltext.Emitter)
 }
 
 // Text is a character-data node.
@@ -40,6 +43,8 @@ func (*Text) node() {}
 
 func (t *Text) writeTo(w *xmltext.Writer) { w.Text(t.Data) }
 
+func (t *Text) appendTo(e *xmltext.Emitter) { e.Text(t.Data) }
+
 // Comment is a comment node.
 type Comment struct {
 	Data string
@@ -48,6 +53,8 @@ type Comment struct {
 func (*Comment) node() {}
 
 func (c *Comment) writeTo(w *xmltext.Writer) { w.Comment(c.Data) }
+
+func (c *Comment) appendTo(e *xmltext.Emitter) { e.Comment(c.Data) }
 
 // Element is an XML element. Namespace declarations (xmlns / xmlns:p
 // attributes) are kept in Attrs verbatim; prefix resolution walks the
@@ -200,6 +207,13 @@ func (e *Element) ChildrenNamed(ns, local string) []*Element {
 
 // Text returns the concatenation of the element's direct text children.
 func (e *Element) Text() string {
+	// A decoded leaf almost always holds exactly one text child; return its
+	// data without going through a builder (and its heap copy).
+	if len(e.Children) == 1 {
+		if t, ok := e.Children[0].(*Text); ok {
+			return t.Data
+		}
+	}
 	var b strings.Builder
 	for _, n := range e.Children {
 		if t, ok := n.(*Text); ok {
@@ -271,6 +285,26 @@ func (e *Element) writeTo(w *xmltext.Writer) {
 	w.EndElement()
 }
 
+func (e *Element) appendTo(em *xmltext.Emitter) {
+	em.Start(e.Name)
+	for _, a := range e.Attrs {
+		em.Attr(a.Name, a.Value)
+	}
+	for _, n := range e.Children {
+		n.appendTo(em)
+	}
+	em.End()
+}
+
+// AppendTo emits the subtree rooted at e into em, byte-identical to
+// Serialize on the same tree.
+func (e *Element) AppendTo(em *xmltext.Emitter) { e.appendTo(em) }
+
+// AppendNode emits any node into em — the package-external entry point for
+// streaming mixed child lists (elements, text, comments) without a DOM
+// type switch at each call site.
+func AppendNode(n Node, em *xmltext.Emitter) { n.appendTo(em) }
+
 // Serialize writes the subtree rooted at e as a complete document
 // (without an XML declaration) to w.
 func (e *Element) Serialize(w io.Writer) error {
@@ -294,13 +328,52 @@ func (e *Element) WriteIndented(w io.Writer, indent string) error {
 	return xw.Flush()
 }
 
-// String returns the compact serialization, for logs and tests.
+// SerializedLen returns the exact byte length of the compact
+// serialization of the subtree rooted at e (Serialize / String output),
+// accounting for escaping and self-closing tags, so buffers can be sized
+// in one pass instead of growing repeatedly.
+func (e *Element) SerializedLen() int {
+	nameLen := len(e.Name.Local)
+	if e.Name.Prefix != "" {
+		nameLen += len(e.Name.Prefix) + 1
+	}
+	n := 1 + nameLen // "<name"
+	for _, a := range e.Attrs {
+		n += 1 + len(a.Name.Local) // " name"
+		if a.Name.Prefix != "" {
+			n += len(a.Name.Prefix) + 1
+		}
+		n += 2 + xmltext.EscapedAttrLen(a.Value) + 1 // `="value"`
+	}
+	if len(e.Children) == 0 {
+		return n + 2 // "/>"
+	}
+	n += 1 // ">"
+	for _, c := range e.Children {
+		switch c := c.(type) {
+		case *Element:
+			n += c.SerializedLen()
+		case *Text:
+			n += xmltext.EscapedTextLen(c.Data)
+		case *Comment:
+			n += len("<!--") + len(c.Data) + len("-->")
+		}
+	}
+	return n + 2 + nameLen + 1 // "</name>"
+}
+
+// String returns the compact serialization, for logs and tests. The buffer
+// is sized exactly via SerializedLen, so large packed trees serialize with
+// a single allocation for the result string.
 func (e *Element) String() string {
-	var b strings.Builder
-	if err := e.Serialize(&b); err != nil {
+	em := xmltext.AcquireEmitter()
+	defer xmltext.ReleaseEmitter(em)
+	em.Grow(e.SerializedLen())
+	e.appendTo(em)
+	if err := em.Finish(); err != nil {
 		return fmt.Sprintf("<!ERROR %v>", err)
 	}
-	return b.String()
+	return string(em.Bytes())
 }
 
 var errEmptyDocument = fmt.Errorf("xmldom: empty document")

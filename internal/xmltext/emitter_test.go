@@ -1,0 +1,350 @@
+package xmltext
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// op is one writer instruction, applied to both Writer and Emitter so the
+// parity tests drive the two implementations through identical sequences.
+type emitOp struct {
+	kind  string // "decl", "start", "attr", "end", "text", "comment"
+	name  Name
+	value string
+}
+
+func applyOps(t *testing.T, ops []emitOp) (writerOut string, writerErr error, emitterOut string, emitterErr error) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	e := AcquireEmitter()
+	defer ReleaseEmitter(e)
+	for _, op := range ops {
+		switch op.kind {
+		case "decl":
+			w.Declaration()
+			e.Declaration()
+		case "start":
+			w.StartElement(op.name)
+			e.Start(op.name)
+		case "attr":
+			w.Attr(op.name, op.value)
+			e.Attr(op.name, op.value)
+		case "end":
+			w.EndElement()
+			e.End()
+		case "text":
+			w.Text(op.value)
+			e.Text(op.value)
+		case "comment":
+			w.Comment(op.value)
+			e.Comment(op.value)
+		default:
+			t.Fatalf("unknown op %q", op.kind)
+		}
+	}
+	writerErr = w.Flush()
+	emitterErr = e.Finish()
+	return buf.String(), writerErr, string(e.Bytes()), emitterErr
+}
+
+func TestEmitterParityDocuments(t *testing.T) {
+	name := func(p, l string) Name { return Name{Prefix: p, Local: l} }
+	cases := []struct {
+		desc string
+		ops  []emitOp
+	}{
+		{"simple element", []emitOp{
+			{kind: "start", name: name("", "root")},
+			{kind: "text", value: "hello"},
+			{kind: "end"},
+		}},
+		{"declaration and nesting", []emitOp{
+			{kind: "decl"},
+			{kind: "start", name: name("SOAP-ENV", "Envelope")},
+			{kind: "attr", name: name("xmlns", "SOAP-ENV"), value: "http://schemas.xmlsoap.org/soap/envelope/"},
+			{kind: "start", name: name("SOAP-ENV", "Body")},
+			{kind: "start", name: name("m", "echo")},
+			{kind: "attr", name: name("xmlns", "m"), value: "urn:spi:Echo"},
+			{kind: "text", value: "payload"},
+			{kind: "end"},
+			{kind: "end"},
+			{kind: "end"},
+		}},
+		{"self-closing", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "start", name: name("", "b")},
+			{kind: "attr", name: name("", "x"), value: "1"},
+			{kind: "end"},
+			{kind: "end"},
+		}},
+		{"empty text keeps explicit close tag", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "text", value: ""},
+			{kind: "end"},
+		}},
+		{"escaping in text and attrs", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "attr", name: name("", "q"), value: `<&>"` + "\t\n\r"},
+			{kind: "text", value: `a<b&c>d"e` + "\r\n\t"},
+			{kind: "end"},
+		}},
+		{"invalid utf8 and control chars", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "attr", name: name("", "q"), value: "x\xffy\x01z"},
+			{kind: "text", value: "x\xffy\x01z "},
+			{kind: "end"},
+		}},
+		{"comment", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "comment", value: " note "},
+			{kind: "end"},
+		}},
+		{"multibyte text", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "text", value: "héllo wörld — 日本語"},
+			{kind: "end"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.desc, func(t *testing.T) {
+			wOut, wErr, eOut, eErr := applyOps(t, tc.ops)
+			if wErr != nil || eErr != nil {
+				t.Fatalf("errors: writer=%v emitter=%v", wErr, eErr)
+			}
+			if wOut != eOut {
+				t.Fatalf("output mismatch:\nwriter:  %q\nemitter: %q", wOut, eOut)
+			}
+		})
+	}
+}
+
+func TestEmitterParityErrors(t *testing.T) {
+	name := func(p, l string) Name { return Name{Prefix: p, Local: l} }
+	cases := []struct {
+		desc string
+		ops  []emitOp
+	}{
+		{"empty element name", []emitOp{{kind: "start", name: Name{}}}},
+		{"attr outside start tag", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "text", value: "x"},
+			{kind: "attr", name: name("", "q"), value: "1"},
+		}},
+		{"end with no open element", []emitOp{{kind: "end"}}},
+		{"text outside root", []emitOp{{kind: "text", value: "x"}}},
+		{"comment with double dash", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "comment", value: "a--b"},
+		}},
+		{"unclosed element at flush", []emitOp{{kind: "start", name: name("", "a")}}},
+		{"declaration mid-document", []emitOp{
+			{kind: "start", name: name("", "a")},
+			{kind: "decl"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.desc, func(t *testing.T) {
+			_, wErr, _, eErr := applyOps(t, tc.ops)
+			if wErr == nil || eErr == nil {
+				t.Fatalf("expected errors, got writer=%v emitter=%v", wErr, eErr)
+			}
+			if wErr.Error() != eErr.Error() {
+				t.Fatalf("error mismatch:\nwriter:  %v\nemitter: %v", wErr, eErr)
+			}
+		})
+	}
+}
+
+// TestEmitterParityRandom drives both implementations through random valid
+// documents with adversarial strings.
+func TestEmitterParityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	values := []string{
+		"", "plain", "a<b", "x&y", `q"r`, "tab\tnl\ncr\r", "\xff\xfe",
+		"\x00\x01", "ünïcødé", strings.Repeat("long", 100), "]]>", "--",
+	}
+	names := []Name{
+		{Local: "root"}, {Prefix: "SOAP-ENV", Local: "Body"},
+		{Prefix: "m", Local: "op"}, {Local: "item"}, {Prefix: "spi", Local: "Parallel_Response"},
+	}
+	for round := 0; round < 200; round++ {
+		var ops []emitOp
+		ops = append(ops, emitOp{kind: "start", name: names[rng.Intn(len(names))]})
+		depth := 1
+		for i := 0; i < 30 && depth > 0; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				ops = append(ops, emitOp{kind: "start", name: names[rng.Intn(len(names))]})
+				depth++
+			case 1:
+				ops = append(ops, emitOp{kind: "attr", name: Name{Local: "a"}, value: values[rng.Intn(len(values))]})
+			case 2:
+				ops = append(ops, emitOp{kind: "text", value: values[rng.Intn(len(values))]})
+			case 3, 4:
+				ops = append(ops, emitOp{kind: "end"})
+				depth--
+			}
+		}
+		for ; depth > 0; depth-- {
+			ops = append(ops, emitOp{kind: "end"})
+		}
+		wOut, wErr, eOut, eErr := applyOps(t, ops)
+		if (wErr == nil) != (eErr == nil) {
+			t.Fatalf("round %d: error divergence writer=%v emitter=%v", round, wErr, eErr)
+		}
+		if wErr != nil {
+			if wErr.Error() != eErr.Error() {
+				t.Fatalf("round %d: error mismatch %v vs %v", round, wErr, eErr)
+			}
+			continue
+		}
+		if wOut != eOut {
+			t.Fatalf("round %d: output mismatch\nwriter:  %q\nemitter: %q", round, wOut, eOut)
+		}
+	}
+}
+
+func TestEmitterExtendAndRaw(t *testing.T) {
+	e := AcquireEmitter()
+	defer ReleaseEmitter(e)
+	e.Start(Name{Local: "a"})
+	tail := e.Extend(3)
+	copy(tail, "xyz")
+	e.Raw([]byte("<b/>"))
+	e.RawString("<c/>")
+	e.End()
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(e.Bytes()), "<a>xyz<b/><c/></a>"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestEmitterAttrRaw(t *testing.T) {
+	e := AcquireEmitter()
+	defer ReleaseEmitter(e)
+	e.Start(Name{Local: "a"})
+	e.AttrRaw(Name{Prefix: "SOAP-ENC", Local: "arrayType"}, []byte("xsd:anyType[3]"))
+	e.End()
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(e.Bytes()), `<a SOAP-ENC:arrayType="xsd:anyType[3]"/>`; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestEmitterGrow(t *testing.T) {
+	e := AcquireEmitter()
+	defer ReleaseEmitter(e)
+	e.Start(Name{Local: "a"})
+	e.Grow(1 << 16)
+	if cap(e.buf)-len(e.buf) < 1<<16 {
+		t.Fatalf("Grow did not reserve capacity: cap=%d len=%d", cap(e.buf), len(e.buf))
+	}
+	e.Text("x")
+	e.End()
+	if err := e.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(e.Bytes()); got != "<a>x</a>" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestEmitterPoolRecycling hammers acquire/emit/release from many
+// goroutines; run under -race via the race-pools make target.
+func TestEmitterPoolRecycling(t *testing.T) {
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				e := AcquireEmitter()
+				e.Declaration()
+				e.Start(Name{Prefix: "SOAP-ENV", Local: "Envelope"})
+				e.Start(Name{Prefix: "SOAP-ENV", Local: "Body"})
+				payload := fmt.Sprintf("w%d-r%d", seed, i)
+				e.Start(Name{Local: "data"})
+				e.Text(payload)
+				e.End()
+				e.End()
+				e.End()
+				if err := e.Finish(); err != nil {
+					t.Errorf("finish: %v", err)
+				}
+				want := `<?xml version="1.0" encoding="UTF-8"?><SOAP-ENV:Envelope><SOAP-ENV:Body><data>` +
+					payload + `</data></SOAP-ENV:Body></SOAP-ENV:Envelope>`
+				if got := string(e.Bytes()); got != want {
+					t.Errorf("pooled emitter corrupted: got %q want %q", got, want)
+				}
+				ReleaseEmitter(e)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestEmitterOversizedNotPooled(t *testing.T) {
+	e := &Emitter{buf: make([]byte, 0, maxPooledEmitter+1)}
+	ReleaseEmitter(e) // must drop, not pool
+	got := AcquireEmitter()
+	defer ReleaseEmitter(got)
+	if got == e {
+		t.Fatal("oversized emitter was pooled")
+	}
+}
+
+func TestAppendEscapeParity(t *testing.T) {
+	cases := []string{
+		"", "plain", "a<b&c>d", `quote"tab` + "\ttext", "\r\n", "\xff", "\x00",
+		"ünïcødé", "mixed \xffü<&", strings.Repeat("x", 1000) + "<",
+	}
+	for _, s := range cases {
+		if got, want := string(AppendEscText(nil, s)), EscapeText(s); got != want {
+			t.Errorf("AppendEscText(%q) = %q, want %q", s, got, want)
+		}
+		if got, want := string(AppendEscAttr(nil, s)), EscapeAttr(s); got != want {
+			t.Errorf("AppendEscAttr(%q) = %q, want %q", s, got, want)
+		}
+		if got, want := EscapedTextLen(s), len(EscapeText(s)); got != want {
+			t.Errorf("EscapedTextLen(%q) = %d, want %d", s, got, want)
+		}
+		if got, want := EscapedAttrLen(s), len(EscapeAttr(s)); got != want {
+			t.Errorf("EscapedAttrLen(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func BenchmarkEmitterEnvelope(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := AcquireEmitter()
+		e.Declaration()
+		e.Start(Name{Prefix: "SOAP-ENV", Local: "Envelope"})
+		e.Start(Name{Prefix: "SOAP-ENV", Local: "Body"})
+		for j := 0; j < 16; j++ {
+			e.Start(Name{Prefix: "m", Local: "echo"})
+			e.Attr(Name{Prefix: "xmlns", Local: "m"}, "urn:spi:Echo")
+			e.Start(Name{Local: "data"})
+			e.Text("payload")
+			e.End()
+			e.End()
+		}
+		e.End()
+		e.End()
+		if err := e.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		ReleaseEmitter(e)
+	}
+}

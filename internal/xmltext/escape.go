@@ -27,6 +27,63 @@ func escape(s string, attr bool) string {
 	}
 	var b strings.Builder
 	b.Grow(len(s) + 8)
+	escapeSlow(&b, s, attr)
+	return b.String()
+}
+
+// AppendEscText appends s to dst escaped as character data, exactly as
+// EscapeText would render it. When nothing needs escaping the bytes are
+// copied in one append — the emitter's no-escape fast path.
+func AppendEscText(dst []byte, s string) []byte {
+	if !needsEscape(s, false) {
+		return append(dst, s...)
+	}
+	return appendEscapeSlow(dst, s, false)
+}
+
+// AppendEscAttr appends s to dst escaped as a double-quoted attribute
+// value, exactly as EscapeAttr would render it.
+func AppendEscAttr(dst []byte, s string) []byte {
+	if !needsEscape(s, true) {
+		return append(dst, s...)
+	}
+	return appendEscapeSlow(dst, s, true)
+}
+
+// EscapedTextLen returns len(EscapeText(s)) without materializing the
+// escaped string, for exact-size serialization buffers.
+func EscapedTextLen(s string) int { return escapedLen(s, false) }
+
+// EscapedAttrLen returns len(EscapeAttr(s)) without materializing the
+// escaped string.
+func EscapedAttrLen(s string) int { return escapedLen(s, true) }
+
+// escWriter abstracts the two escape sinks (strings.Builder, []byte append)
+// over one walk so their outputs can never diverge.
+type escWriter interface {
+	WriteString(s string) (int, error)
+	WriteByte(c byte) error
+	WriteRune(r rune) (int, error)
+}
+
+// byteAppender adapts a []byte to escWriter without heap indirection at the
+// call sites that matter (appendEscapeSlow keeps it on the stack).
+type byteAppender struct{ b []byte }
+
+func (a *byteAppender) WriteString(s string) (int, error) { a.b = append(a.b, s...); return len(s), nil }
+func (a *byteAppender) WriteByte(c byte) error            { a.b = append(a.b, c); return nil }
+func (a *byteAppender) WriteRune(r rune) (int, error) {
+	a.b = utf8.AppendRune(a.b, r)
+	return utf8.RuneLen(r), nil
+}
+
+func appendEscapeSlow(dst []byte, s string, attr bool) []byte {
+	a := byteAppender{b: dst}
+	escapeSlow(&a, s, attr)
+	return a.b
+}
+
+func escapeSlow(b escWriter, s string, attr bool) {
 	for i := 0; i < len(s); {
 		r, size := utf8.DecodeRuneInString(s[i:])
 		switch r {
@@ -73,7 +130,54 @@ func escape(s string, attr bool) string {
 		}
 		i += size
 	}
-	return b.String()
+}
+
+// escapedLen mirrors escapeSlow's walk, summing output lengths instead of
+// writing bytes.
+func escapedLen(s string, attr bool) int {
+	if !needsEscape(s, attr) {
+		return len(s)
+	}
+	n := 0
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		switch r {
+		case '&':
+			n += len("&amp;")
+		case '<', '>':
+			n += len("&lt;")
+		case '"':
+			if attr {
+				n += len("&quot;")
+			} else {
+				n++
+			}
+		case '\r':
+			n += len("&#13;")
+		case '\t':
+			if attr {
+				n += len("&#9;")
+			} else {
+				n++
+			}
+		case '\n':
+			if attr {
+				n += len("&#10;")
+			} else {
+				n++
+			}
+		case utf8.RuneError:
+			n += utf8.RuneLen(utf8.RuneError)
+		default:
+			if !isValidXMLChar(r) {
+				n += utf8.RuneLen(utf8.RuneError)
+			} else {
+				n += size
+			}
+		}
+		i += size
+	}
+	return n
 }
 
 func needsEscape(s string, attr bool) bool {

@@ -2,9 +2,11 @@ package xmltext
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"unicode/utf8"
 )
 
@@ -50,22 +52,79 @@ type Tokenizer struct {
 	// array. See SetReuseTokenAttrs.
 	reuseAttrs bool
 	attrs      []Attr // scratch for Token.Attrs when reuseAttrs is set
+
+	// src backs ResetBytes, so tokenizing an in-memory document needs no
+	// separate bytes.Reader allocation.
+	src bytes.Reader
 }
 
 // NewTokenizer returns a Tokenizer reading from r.
 func NewTokenizer(r io.Reader) *Tokenizer {
-	return &Tokenizer{
-		r:   bufio.NewReaderSize(r, 16<<10),
-		pos: Pos{Line: 1, Col: 1},
-	}
+	t := &Tokenizer{}
+	t.Reset(r)
+	return t
 }
 
-// SetRawText switches Text tokens to zero-copy delivery: their Text field
-// stays empty and the content is read through TokenBytes instead, valid
-// only until the next call to Next. Comment and ProcInst tokens are
+// Reset prepares t to read a new document from r, discarding all state
+// from the previous document while keeping grown scratch buffers (and the
+// 16 KB read buffer). Raw-text and attribute-reuse modes persist across
+// resets.
+func (t *Tokenizer) Reset(r io.Reader) {
+	if t.r == nil {
+		t.r = bufio.NewReaderSize(r, 16<<10)
+	} else {
+		t.r.Reset(r)
+	}
+	t.pos = Pos{Line: 1, Col: 1}
+	t.err = nil
+	t.open = t.open[:0]
+	t.pendingEnd = Name{}
+	t.hasPending = false
+	t.sawRoot = false
+	t.rootClosed = false
+	t.buf = t.buf[:0]
+	t.val = t.val[:0]
+}
+
+// ResetBytes is Reset over an in-memory document, reusing an internal
+// bytes.Reader so repeated decodes allocate nothing for the source.
+func (t *Tokenizer) ResetBytes(b []byte) {
+	t.src.Reset(b)
+	t.Reset(&t.src)
+}
+
+// tokenizerPool recycles Tokenizers — principally their 16 KB read
+// buffers — across documents for the decode hot paths.
+var tokenizerPool = sync.Pool{New: func() any { return &Tokenizer{} }}
+
+// AcquireTokenizer returns a pooled Tokenizer positioned at the start of
+// the in-memory document b, with raw-text and attribute-reuse modes off
+// (callers enable what they need). Pass it to ReleaseTokenizer when done;
+// after that neither the Tokenizer nor any TokenBytes slice obtained from
+// it may be used.
+func AcquireTokenizer(b []byte) *Tokenizer {
+	t := tokenizerPool.Get().(*Tokenizer)
+	t.rawText = false
+	t.reuseAttrs = false
+	t.ResetBytes(b)
+	return t
+}
+
+// ReleaseTokenizer returns a Tokenizer obtained from AcquireTokenizer to
+// the pool. It drops the reference to the caller's document so the pool
+// never pins request bodies.
+func ReleaseTokenizer(t *Tokenizer) {
+	t.src.Reset(nil)
+	tokenizerPool.Put(t)
+}
+
+// SetRawText switches Text and ProcInst tokens to zero-copy delivery:
+// their Text field stays empty and the content is read through TokenBytes
+// instead, valid only until the next call to Next. Comment tokens are
 // unaffected (they are not on any hot path). Callers that keep text beyond
 // one token — like the DOM builder — copy it themselves, which lets them
-// skip the copy entirely for whitespace runs and other text they discard.
+// skip the copy entirely for whitespace runs and other text they discard
+// (both hot consumers discard the XML declaration outright).
 func (t *Tokenizer) SetRawText(on bool) { t.rawText = on }
 
 // SetReuseTokenAttrs makes every start-element token share one attribute
@@ -551,6 +610,13 @@ func (t *Tokenizer) readProcInst() (Token, error) {
 			b := t.buf
 			for len(b) > 0 && isSpaceByte(b[0]) {
 				b = b[1:]
+			}
+			if t.rawText {
+				// Raw mode extends to processing instructions: both hot
+				// consumers (the DOM builder and the SOAP stream decoder)
+				// discard the XML declaration, so don't materialize it.
+				t.buf = t.buf[:copy(t.buf, b)]
+				return Token{Kind: KindProcInst, Target: target}, nil
 			}
 			return Token{Kind: KindProcInst, Target: target, Text: string(b)}, nil
 		}

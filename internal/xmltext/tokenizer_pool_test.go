@@ -1,0 +1,121 @@
+package xmltext
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// drainTokens renders a token stream into a comparable string.
+func drainTokens(tk *Tokenizer) (string, error) {
+	var b strings.Builder
+	for {
+		tok, err := tk.Next()
+		if err == io.EOF {
+			return b.String(), nil
+		}
+		if err != nil {
+			return "", err
+		}
+		switch tok.Kind {
+		case KindStartElement:
+			fmt.Fprintf(&b, "<%s", tok.Name.Local)
+			for _, a := range tok.Attrs {
+				fmt.Fprintf(&b, " %s=%q", a.Name.Local, a.Value)
+			}
+			b.WriteString(">")
+		case KindEndElement:
+			fmt.Fprintf(&b, "</%s>", tok.Name.Local)
+		case KindText:
+			b.WriteString(tok.Text)
+			b.Write(tk.TokenBytes())
+		case KindProcInst:
+			fmt.Fprintf(&b, "?%s[%s%s]", tok.Target, tok.Text, tk.TokenBytes())
+		}
+	}
+}
+
+// TestTokenizerPoolRecycling hammers the pooled tokenizer from many
+// goroutines with distinct documents and checks every stream matches a
+// fresh tokenizer over the same bytes — run with -race, this doubles as
+// the pool's data-race check.
+func TestTokenizerPoolRecycling(t *testing.T) {
+	const workers, rounds = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				doc := fmt.Sprintf(`<?xml version="1.0"?><d n="%d-%d"><x>payload %d &amp; %d</x></d>`, w, r, w, r)
+				pooled := AcquireTokenizer([]byte(doc))
+				pooled.SetRawText(true)
+				got, err := drainTokens(pooled)
+				ReleaseTokenizer(pooled)
+				if err != nil {
+					t.Errorf("worker %d round %d: pooled: %v", w, r, err)
+					return
+				}
+
+				fresh := NewTokenizer(strings.NewReader(doc))
+				fresh.SetRawText(true)
+				want, err := drainTokens(fresh)
+				if err != nil {
+					t.Errorf("worker %d round %d: fresh: %v", w, r, err)
+					return
+				}
+				if got != want {
+					t.Errorf("worker %d round %d: pooled stream %q, fresh %q", w, r, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestTokenizerResetClearsState checks that state from a failed parse (open
+// elements, sticky error, truncated tag) does not leak into the next
+// document through the pool.
+func TestTokenizerResetClearsState(t *testing.T) {
+	tk := AcquireTokenizer([]byte(`<a><b att="v"`)) // truncated mid-tag
+	for {
+		if _, err := tk.Next(); err != nil {
+			break
+		}
+	}
+	ReleaseTokenizer(tk)
+
+	tk2 := AcquireTokenizer([]byte(`<ok/>`))
+	defer ReleaseTokenizer(tk2)
+	tok, err := tk2.Next()
+	if err != nil || tok.Kind != KindStartElement || tok.Name.Local != "ok" {
+		t.Fatalf("after recycled failure: tok %+v err %v", tok, err)
+	}
+}
+
+// TestTokenizerRawProcInst pins raw mode's ProcInst contract: Text stays
+// empty and the declaration's content is readable through TokenBytes.
+func TestTokenizerRawProcInst(t *testing.T) {
+	const doc = `<?xml version="1.0" encoding="UTF-8"?><a/>`
+	tk := NewTokenizer(strings.NewReader(doc))
+	tk.SetRawText(true)
+	tok, err := tk.Next()
+	if err != nil || tok.Kind != KindProcInst {
+		t.Fatalf("first token: %+v err %v", tok, err)
+	}
+	if tok.Text != "" {
+		t.Errorf("raw mode materialized ProcInst text %q", tok.Text)
+	}
+	if got := string(tk.TokenBytes()); got != `version="1.0" encoding="UTF-8"` {
+		t.Errorf("TokenBytes = %q", got)
+	}
+
+	plain := NewTokenizer(strings.NewReader(doc))
+	ptok, err := plain.Next()
+	if err != nil || ptok.Text != `version="1.0" encoding="UTF-8"` {
+		t.Errorf("materialized mode: %+v err %v", ptok, err)
+	}
+}
