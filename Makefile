@@ -3,16 +3,18 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools bench figures fuzz-smoke bench-check bench-gate vet-escapes
+.PHONY: check build vet test race race-pools race-gateway bench figures fuzz-smoke bench-check bench-gate vet-escapes
 
-## check: the full gate — build, vet, race-enabled tests, pool-lifecycle
-## tests under -race, the encode-path escape audit, and the
-## perf-regression gate vs the baseline chain.
+## check: the full gate — build, vet, race-enabled shuffled tests,
+## pool-lifecycle tests under -race, the gateway differential/chaos suite
+## under -race, the encode-path escape audit, and the perf-regression gate
+## vs the baseline chain.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(MAKE) race-pools
+	$(MAKE) race-gateway
 	$(MAKE) vet-escapes
 	$(MAKE) bench-gate
 
@@ -37,6 +39,14 @@ race-pools:
 		./internal/xmldom ./internal/xmltext ./internal/soap \
 		./internal/core ./internal/httpx
 
+## race-gateway: extra runs of the scatter–gather differential and chaos
+## suites under the race detector — the gateway's concurrency (shard
+## fan-out, reorder-window gather, circuit state, pool slots) is the code
+## under test here.
+race-gateway:
+	$(GO) test -race -count=2 -run='Differential|Chaos|Failover|Ejection|Probe' \
+		./internal/gateway
+
 ## bench: the paper's experiments as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -50,8 +60,9 @@ figures:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenizer$$' -fuzztime=10s ./internal/xmltext
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
+	$(GO) test -run='^$$' -fuzz='^FuzzReadResponse$$' -fuzztime=10s ./internal/httpx
 
-## bench-check: snapshot the key benchmarks to BENCH_pr4.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr5.json (perf guard).
 bench-check:
 	$(GO) run ./cmd/benchcheck
 
@@ -62,7 +73,7 @@ bench-check:
 ## step-function regressions.
 bench-gate:
 	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
-		-baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+		-baseline BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
 
 ## vet-escapes: audit the streaming encode hot path for unexpected heap
 ## escapes. The stack scratch buffers in the soap/soapenc writers must stay

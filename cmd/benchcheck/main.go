@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr4.json
+//	benchcheck                 # writes BENCH_pr5.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
 //	benchcheck -baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 10
@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/msgcache"
+	"repro/internal/netsim"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
 	"repro/internal/trace"
@@ -75,7 +76,7 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	baseline := flag.String("baseline", "", "comma-separated baseline chain to compare against, first file wins per benchmark (empty disables)")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
@@ -198,6 +199,31 @@ func main() {
 	endToEnd("e2e/serial-echo", nil, false)
 	endToEnd("e2e/packed-echo-16", nil, true)
 	endToEnd("e2e/packed-echo-16-traced", trace.New(8192), true)
+
+	// --- gateway scatter–gather ---------------------------------------
+	gatewayE2E := func(name string, backends int) {
+		env, err := bench.NewGatewayEnv(bench.GatewayOptions{
+			Backends: backends, Network: netsim.Fast(), AppWorkers: 8,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		defer env.Close()
+		add(measure(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch := env.Client.NewBatch()
+				for j := 0; j < 16; j++ {
+					batch.Add("Echo", "echo", arg)
+				}
+				if err := batch.Send(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	gatewayE2E("e2e/gw-packed-16-1-backend", 1)
+	gatewayE2E("e2e/gw-packed-16-4-backends", 4)
 
 	report.GoVersion = runtime.Version()
 	blob, err := json.MarshalIndent(report, "", "  ")

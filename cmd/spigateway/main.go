@@ -1,0 +1,144 @@
+// Command spigateway fronts a pool of SPI servers with the scatter–gather
+// gateway: packed Parallel_Method envelopes are sharded across the
+// backends, everything else is proxied whole, and the reply is
+// byte-identical to a single direct server's.
+//
+// Usage:
+//
+//	spigateway -addr :8090 -backends host1:8080,host2:8080
+//	spigateway -addr :8090 -backends host1:8080,host2:8080 -policy least-loaded
+//	spigateway -addr :8090 -backends host1:8080 -probe 2s -stats
+//
+// Endpoints mirror the servers':
+//
+//	POST /services/<Service>    one-request envelopes (proxied)
+//	POST /services              packed envelopes (scattered)
+//	GET  /services, ?wsdl       proxied to one backend
+//	GET  /spi/stats             gateway counters (with -stats)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+	"repro/internal/registry"
+	"repro/internal/services"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	backendList := flag.String("backends", "", "comma-separated backend addresses (required)")
+	policy := flag.String("policy", "round-robin", "sharding policy: round-robin, least-loaded, op-affinity")
+	threshold := flag.Int("eject-after", 3, "consecutive failures that eject a backend")
+	reprobe := flag.Duration("reprobe", 500*time.Millisecond, "how long an ejected backend sits out")
+	probe := flag.Duration("probe", 0, "active health-check period (0: passive only)")
+	exchangeTimeout := flag.Duration("exchange-timeout", 30*time.Second, "per-sub-batch exchange bound")
+	maxIdle := flag.Int("max-idle", 16, "keep-alive connections pooled per backend")
+	maxActive := flag.Int("max-active", 0, "concurrent exchanges per backend (0: unbounded)")
+	stats := flag.Bool("stats", false, "serve GET /spi/stats")
+	flag.Parse()
+
+	if *backendList == "" {
+		fatal(fmt.Errorf("-backends is required (comma-separated host:port list)"))
+	}
+
+	// The gateway needs the service catalogue only for idempotency
+	// metadata: which operations may fail over after possibly executing.
+	container := registry.NewContainer()
+	if err := services.DeployEcho(container, services.Options{}); err != nil {
+		fatal(err)
+	}
+	if err := services.DeployWeather(container, services.Options{}); err != nil {
+		fatal(err)
+	}
+	if _, err := services.DeployTravel(container, services.Options{}); err != nil {
+		fatal(err)
+	}
+	if svc, ok := container.Service("Echo"); ok {
+		svc.MarkIdempotent("echo", "echoSize")
+	}
+	if svc, ok := container.Service("WeatherService"); ok {
+		svc.MarkIdempotent("GetWeather")
+	}
+
+	var backends []gateway.BackendConfig
+	for _, hostport := range strings.Split(*backendList, ",") {
+		hostport = strings.TrimSpace(hostport)
+		if hostport == "" {
+			continue
+		}
+		d := &net.Dialer{Timeout: 5 * time.Second}
+		target := hostport
+		backends = append(backends, gateway.BackendConfig{
+			Name: target,
+			DialCtx: func(ctx context.Context) (net.Conn, error) {
+				return d.DialContext(ctx, "tcp", target)
+			},
+		})
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends:            backends,
+		Policy:              gateway.ParsePolicy(*policy),
+		Registry:            container,
+		FailureThreshold:    *threshold,
+		ReprobeAfter:        *reprobe,
+		ProbeInterval:       *probe,
+		ExchangeTimeout:     *exchangeTimeout,
+		MaxIdlePerBackend:   *maxIdle,
+		MaxActivePerBackend: *maxActive,
+		DebugEndpoints:      *stats,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("spigateway: listening on %s, policy %s, %d backend(s):\n",
+		listener.Addr(), gateway.ParsePolicy(*policy), len(backends))
+	for _, b := range backends {
+		fmt.Printf("  %s\n", b.Name)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- gw.Serve(listener) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("spigateway: %v, draining\n", s)
+		gw.Shutdown(5 * time.Second)
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+		st := gw.Stats()
+		fmt.Printf("spigateway: %d envelopes (%d packed, %d proxied), %d sub-batches, %d failovers, %d degraded\n",
+			st.Envelopes, st.Packed, st.Proxied, st.Scattered, st.Failovers, st.Degraded)
+		for _, bs := range st.Backends {
+			fmt.Printf("  %-24s exchanges=%d failures=%d ejections=%d failovers=%d\n",
+				bs.Name, bs.Exchanges, bs.Failures, bs.Ejections, bs.Failovers)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "spigateway: %v\n", err)
+	os.Exit(1)
+}

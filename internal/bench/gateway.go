@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/netsim"
+	"repro/internal/registry"
+	"repro/internal/services"
+)
+
+// GatewayEnv is a scale-out deployment: K backend SPI servers behind one
+// scatter–gather gateway, each server on its own simulated link, plus a
+// client that talks only to the gateway.
+type GatewayEnv struct {
+	Client  *core.Client
+	Gateway *gateway.Gateway
+
+	links   []*netsim.Link
+	servers []*core.Server
+	gwLink  *netsim.Link
+}
+
+// GatewayOptions configures a scale-out environment.
+type GatewayOptions struct {
+	// Backends is the farm width (default 1).
+	Backends int
+	// Network is the per-hop link configuration (default LAN100 — both
+	// the client→gateway and the gateway→backend hops pay wire costs).
+	Network netsim.Config
+	// AppWorkers narrows each backend's application stage so the farm, not
+	// the protocol stage, is the bottleneck (default 4).
+	AppWorkers int
+	// WorkTime is per-operation backend work (zero: none): with real work
+	// per entry, adding backends shows in the batch latency.
+	WorkTime time.Duration
+	// Policy selects the sharding strategy (default round-robin).
+	Policy gateway.Policy
+}
+
+// NewGatewayEnv builds and starts the farm.
+func NewGatewayEnv(opt GatewayOptions) (*GatewayEnv, error) {
+	if opt.Backends <= 0 {
+		opt.Backends = 1
+	}
+	if opt.Network.IsZero() {
+		opt.Network = netsim.LAN100()
+	}
+	if opt.AppWorkers <= 0 {
+		opt.AppWorkers = 4
+	}
+	env := &GatewayEnv{}
+	fail := func(err error) (*GatewayEnv, error) {
+		env.Close()
+		return nil, err
+	}
+
+	registryContainer := registry.NewContainer()
+	if err := services.DeployEcho(registryContainer, services.Options{}); err != nil {
+		return fail(err)
+	}
+	if svc, ok := registryContainer.Service("Echo"); ok {
+		svc.MarkIdempotent("echo", "echoSize")
+	}
+
+	var backends []gateway.BackendConfig
+	for i := 0; i < opt.Backends; i++ {
+		container := registry.NewContainer()
+		if err := services.DeployEcho(container, services.Options{WorkTime: opt.WorkTime}); err != nil {
+			return fail(err)
+		}
+		link := netsim.NewLink(opt.Network)
+		env.links = append(env.links, link)
+		lis, err := link.Listen()
+		if err != nil {
+			return fail(err)
+		}
+		srv, err := core.NewServer(core.ServerConfig{
+			Container: container, AppWorkers: opt.AppWorkers,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		env.servers = append(env.servers, srv)
+		go srv.Serve(lis)
+		backends = append(backends, gateway.BackendConfig{
+			Name: fmt.Sprintf("b%d", i), Dial: link.Dial,
+		})
+	}
+
+	gw, err := gateway.New(gateway.Config{
+		Backends: backends,
+		Policy:   opt.Policy,
+		Registry: registryContainer,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	env.Gateway = gw
+	env.gwLink = netsim.NewLink(opt.Network)
+	glis, err := env.gwLink.Listen()
+	if err != nil {
+		return fail(err)
+	}
+	go gw.Serve(glis)
+
+	env.Client, err = core.NewClient(core.ClientConfig{
+		Dial: env.gwLink.Dial, KeepAlive: true, Timeout: 120 * time.Second,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	return env, nil
+}
+
+// Close tears the farm down.
+func (e *GatewayEnv) Close() {
+	if e.Client != nil {
+		e.Client.Close()
+	}
+	if e.Gateway != nil {
+		e.Gateway.Close()
+	}
+	if e.gwLink != nil {
+		e.gwLink.Close()
+	}
+	for _, s := range e.servers {
+		s.Close()
+	}
+	for _, l := range e.links {
+		l.Close()
+	}
+}
+
+// RunGatewayScaling measures one packed batch against a saturated farm as
+// it widens from one backend to four: each entry carries real application
+// work and each backend has a narrow app stage, so the batch latency is
+// bounded by farm compute and must drop as backends are added. The direct
+// row (no gateway at all) isolates the gateway's own overhead at width 1.
+func RunGatewayScaling(reps int) (*AblationResult, error) {
+	if reps <= 0 {
+		reps = 5
+	}
+	const m = 32
+	const work = 2 * time.Millisecond
+	const workers = 4
+	payload := strings.Repeat("a", 128)
+
+	result := &AblationResult{Title: fmt.Sprintf(
+		"Scale-out gateway: packed batch of %d × %v ops, %d app workers per backend", m, work, workers)}
+
+	direct, err := NewEnv(EnvOptions{
+		AppWorkers: workers, KeepAlive: true, WorkTime: work,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ms, err := measure(2, reps, func() error { return packedRun(direct.Client, m, payload) })
+	direct.Close()
+	if err != nil {
+		return nil, err
+	}
+	result.Rows = append(result.Rows, AblationRow{
+		Name: "direct (no gateway)", Millis: ms,
+		Note: "single server, client dials it straight",
+	})
+
+	for _, k := range []int{1, 2, 4} {
+		env, err := NewGatewayEnv(GatewayOptions{
+			Backends: k, AppWorkers: workers, WorkTime: work,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ms, err := measure(2, reps, func() error { return packedRun(env.Client, m, payload) })
+		if err != nil {
+			env.Close()
+			return nil, err
+		}
+		st := env.Gateway.Stats()
+		env.Close()
+		result.Rows = append(result.Rows, AblationRow{
+			Name:   fmt.Sprintf("gateway, %d backend(s)", k),
+			Millis: ms,
+			Note:   fmt.Sprintf("%d sub-batches scattered over %d packed batches", st.Scattered, st.Packed),
+		})
+	}
+	return result, nil
+}

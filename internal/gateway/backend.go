@@ -1,0 +1,139 @@
+// Package gateway implements an SPI-aware scatter–gather front tier: it
+// accepts packed envelopes, shards their Parallel_Method entries across a
+// pool of backend SPI servers, and reassembles the replies into one packed
+// response that is byte-identical to what a single direct server would
+// have produced. This is the paper's dispatcher/assembler pair lifted one
+// tier up — from threads on one machine to servers on a farm — with the
+// application-aware twist that makes the intermediary useful: because the
+// gateway understands the pack format, it splits work entry by entry
+// instead of forwarding opaque blobs.
+package gateway
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/metrics"
+)
+
+// BackendConfig names and connects one backend SPI server.
+type BackendConfig struct {
+	// Name identifies the backend in stats and spans (default "backend<i>").
+	Name string
+	// Dial opens a connection to the backend. Required unless DialCtx is
+	// set.
+	Dial httpx.Dialer
+	// DialCtx is the context-aware dialer; preferred over Dial so
+	// deadline propagation covers connection establishment.
+	DialCtx httpx.DialerCtx
+}
+
+// backend is one pool member: a keep-alive connection pool plus the
+// passive-ejection circuit and its counters.
+type backend struct {
+	index  int
+	name   string
+	client *httpx.Client
+
+	inflight  metrics.Gauge   // sub-batches currently in flight
+	exchanges metrics.Counter // sub-batch exchanges attempted
+	failures  metrics.Counter // exchanges that errored
+	ejections metrics.Counter // circuit openings
+	failovers metrics.Counter // sub-batches moved away after failing here
+
+	mu           sync.Mutex
+	consecFails  int
+	ejectedUntil time.Time
+}
+
+// available reports whether the backend may be handed work: the circuit is
+// closed, or its re-probe timer has elapsed (half-open — one sub-batch or
+// health probe is allowed through; a failure re-ejects, a success closes
+// the circuit).
+func (b *backend) available(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ejectedUntil.IsZero() || !now.Before(b.ejectedUntil)
+}
+
+// ejected reports whether the circuit is currently open, re-probe window
+// included — the /spi/stats health view.
+func (b *backend) ejectedNow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.ejectedUntil.IsZero() && now.Before(b.ejectedUntil)
+}
+
+// noteSuccess closes the circuit.
+func (b *backend) noteSuccess() {
+	b.mu.Lock()
+	b.consecFails = 0
+	b.ejectedUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+// noteFailure counts one failed exchange and opens (or re-opens) the
+// circuit once threshold consecutive failures accumulate. Returns whether
+// this failure newly ejected the backend.
+func (b *backend) noteFailure(threshold int, reprobe time.Duration) bool {
+	b.failures.Inc()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	if b.consecFails < threshold {
+		return false
+	}
+	newly := b.ejectedUntil.IsZero()
+	b.ejectedUntil = time.Now().Add(reprobe)
+	if newly {
+		b.ejections.Inc()
+	}
+	return newly
+}
+
+// probe issues one active health check: a GET of the services listing. Any
+// 200 closes the circuit; anything else counts as a failure.
+func (b *backend) probe(ctx context.Context, target string, threshold int, reprobe time.Duration) {
+	req := httpx.NewRequest("GET", target, nil)
+	resp, err := b.client.DoCtx(ctx, req)
+	if err == nil && resp.StatusCode == 200 {
+		resp.Release()
+		b.noteSuccess()
+		return
+	}
+	if resp != nil {
+		resp.Release()
+	}
+	b.noteFailure(threshold, reprobe)
+}
+
+// BackendStats is the per-backend slice of Gateway.Stats.
+type BackendStats struct {
+	Name     string
+	Ejected  bool
+	InFlight int64
+	Idle     int // pooled keep-alive connections
+	HTTPBusy int // exchanges inside the HTTP client right now
+
+	Exchanges int64
+	Failures  int64
+	Ejections int64
+	Failovers int64
+}
+
+func (b *backend) stats(now time.Time) BackendStats {
+	ps := b.client.PoolStats()
+	return BackendStats{
+		Name:      b.name,
+		Ejected:   b.ejectedNow(now),
+		InFlight:  b.inflight.Load(),
+		Idle:      ps.Idle,
+		HTTPBusy:  ps.InFlight,
+		Exchanges: b.exchanges.Load(),
+		Failures:  b.failures.Load(),
+		Ejections: b.ejections.Load(),
+		Failovers: b.failovers.Load(),
+	}
+}

@@ -1,0 +1,286 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/netsim"
+	"repro/internal/soap"
+)
+
+// The differential suite pins the gateway's headline guarantee: a packed
+// envelope answered through the gateway over K backends is byte-identical
+// to the same envelope answered by one direct server — across SOAP
+// versions, randomized entry mixes, randomized per-backend completion
+// orders (nap entries), and injected per-entry faults. The generator is
+// seeded, so failures replay.
+
+// direct is a standalone SPI server reachable over its own link.
+type direct struct {
+	link *netsim.Link
+}
+
+func newDirect(tb testing.TB) *direct {
+	tb.Helper()
+	link := netsim.NewLink(netsim.Fast())
+	lis, err := link.Listen()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv, err := core.NewServer(core.ServerConfig{
+		Container: testContainer(tb), AppWorkers: 8, AppQueue: 64,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go srv.Serve(lis)
+	tb.Cleanup(func() { srv.Close(); link.Close() })
+	return &direct{link: link}
+}
+
+// exchange POSTs one document and snapshots the reply: status, content
+// type, and a copy of the body (the original may alias a pooled buffer).
+type reply struct {
+	status int
+	ct     string
+	body   []byte
+}
+
+func post(tb testing.TB, c *httpx.Client, target, ct string, doc []byte) reply {
+	tb.Helper()
+	resp, err := c.Post(target, ct, doc)
+	if err != nil {
+		tb.Fatalf("POST %s: %v", target, err)
+	}
+	defer resp.Release()
+	return reply{
+		status: resp.StatusCode,
+		ct:     resp.Header.Get("Content-Type"),
+		body:   append([]byte(nil), resp.Body...),
+	}
+}
+
+func diffReplies(t *testing.T, label string, doc []byte, want, got reply) {
+	t.Helper()
+	if want.status != got.status {
+		t.Errorf("%s: status direct=%d gateway=%d", label, want.status, got.status)
+	}
+	if want.ct != got.ct {
+		t.Errorf("%s: content type direct=%q gateway=%q", label, want.ct, got.ct)
+	}
+	if !bytes.Equal(want.body, got.body) {
+		t.Errorf("%s: body diverged\nrequest: %s\ndirect:  %s\ngateway: %s",
+			label, doc, want.body, got.body)
+	}
+}
+
+// escapeText makes an arbitrary payload safe as XML character data.
+var escapeText = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+// randomPayload mixes plain characters with ones the emitter must escape
+// and the tokenizer must decode, including the empty string.
+func randomPayload(rng *rand.Rand) string {
+	if rng.Intn(6) == 0 {
+		return ""
+	}
+	const chars = "abc XYZ09&<>'\"éλ"
+	n := rng.Intn(12) + 1
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		r := []rune(chars)
+		b.WriteRune(r[rng.Intn(len(r))])
+	}
+	return b.String()
+}
+
+// randomEntry emits one Parallel_Method child. withService controls the
+// spi:service attribute (the bare pack endpoint has no default service, so
+// an entry without one faults — also covered deliberately below).
+func randomEntry(rng *rand.Rand, withService bool) string {
+	var attrs strings.Builder
+	attrs.WriteString(` xmlns:m="urn:spi:Echo"`)
+	service := "Echo"
+	if r := rng.Intn(10); r == 0 {
+		service = "Ghost" // unknown service: per-item Client fault
+	}
+	if withService && rng.Intn(10) != 0 {
+		fmt.Fprintf(&attrs, ` spi:service=%q`, service)
+	}
+	switch rng.Intn(8) {
+	case 0:
+		attrs.WriteString(` spi:id="x"`) // unparseable id: positional per-item fault
+	case 1, 2:
+		fmt.Fprintf(&attrs, ` spi:id="%d"`, rng.Intn(40)) // explicit, duplicates allowed
+	}
+
+	op := "echo"
+	switch rng.Intn(12) {
+	case 0:
+		op = "fail"
+	case 1:
+		op = "empty"
+	case 2:
+		op = "none"
+	case 3:
+		op = "ghostOp" // unknown operation: per-item Client fault
+	case 4, 5:
+		// nap randomizes the completion order across backends and app
+		// workers; the response must come back in slot order regardless.
+		return fmt.Sprintf(`<m:nap%s><ms xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:xsd="http://www.w3.org/2001/XMLSchema" xsi:type="xsd:int">%d</ms></m:nap>`,
+			attrs.String(), rng.Intn(8))
+	}
+	var params strings.Builder
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		fmt.Fprintf(&params, "<p%d>%s</p%d>", i, escapeText.Replace(randomPayload(rng)), i)
+	}
+	return fmt.Sprintf("<m:%s%s>%s</m:%s>", op, attrs.String(), params.String(), op)
+}
+
+// packedDoc wraps entries in a packed envelope of the given version.
+func packedDoc(v soap.Version, entries []string) []byte {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	b.WriteString(`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + v.Namespace() + `">`)
+	b.WriteString(`<SOAP-ENV:Body><spi:Parallel_Method xmlns:spi="http://spi.ict.ac.cn/pack">`)
+	for _, e := range entries {
+		b.WriteString(e)
+	}
+	b.WriteString(`</spi:Parallel_Method></SOAP-ENV:Body></SOAP-ENV:Envelope>`)
+	return []byte(b.String())
+}
+
+func TestDifferentialPackedRandomized(t *testing.T) {
+	docsPerCase := 30
+	if testing.Short() {
+		docsPerCase = 8
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		for _, v := range []soap.Version{soap.V11, soap.V12} {
+			t.Run(fmt.Sprintf("backends=%d/%s", k, v), func(t *testing.T) {
+				t.Parallel()
+				seed := int64(1000*k + int(v))
+				rng := rand.New(rand.NewSource(seed))
+				d := newDirect(t)
+				f := newFarm(t, k, nil)
+				dc := &httpx.Client{Dial: d.link.Dial, KeepAlive: true, Timeout: 10 * time.Second}
+				gc := f.raw()
+				defer dc.Close()
+				defer gc.Close()
+
+				for i := 0; i < docsPerCase; i++ {
+					// Alternate between the bare pack endpoint (entries must
+					// name their service; unannotated ones fault) and a
+					// service path that supplies the default.
+					target, withService := "/services", true
+					if rng.Intn(3) == 0 {
+						target = "/services/Echo"
+						withService = rng.Intn(2) == 0
+					}
+					n := rng.Intn(9) // 0 entries: "has no requests" fault parity
+					entries := make([]string, n)
+					for j := range entries {
+						entries[j] = randomEntry(rng, withService)
+					}
+					doc := packedDoc(v, entries)
+					label := fmt.Sprintf("seed=%d doc=%d target=%s", seed, i, target)
+					diffReplies(t, label, doc,
+						post(t, dc, target, v.ContentType(), doc),
+						post(t, gc, target, v.ContentType(), doc))
+				}
+			})
+		}
+	}
+}
+
+func TestDifferentialPolicies(t *testing.T) {
+	// The response bytes must not depend on how entries were sharded.
+	for _, p := range []Policy{RoundRobin, LeastLoaded, OpAffinity} {
+		t.Run(p.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			d := newDirect(t)
+			f := newFarm(t, 3, func(cfg *Config) { cfg.Policy = p })
+			dc := &httpx.Client{Dial: d.link.Dial, KeepAlive: true, Timeout: 10 * time.Second}
+			gc := f.raw()
+			defer dc.Close()
+			defer gc.Close()
+			for i := 0; i < 10; i++ {
+				n := rng.Intn(8) + 1
+				entries := make([]string, n)
+				for j := range entries {
+					entries[j] = randomEntry(rng, true)
+				}
+				doc := packedDoc(soap.V11, entries)
+				label := fmt.Sprintf("policy=%s doc=%d", p, i)
+				diffReplies(t, label, doc,
+					post(t, dc, "/services", soap.V11.ContentType(), doc),
+					post(t, gc, "/services", soap.V11.ContentType(), doc))
+			}
+		})
+	}
+}
+
+func TestDifferentialWholeMessageFaults(t *testing.T) {
+	d := newDirect(t)
+	f := newFarm(t, 2, nil)
+	dc := &httpx.Client{Dial: d.link.Dial, KeepAlive: true, Timeout: 5 * time.Second}
+	gc := f.raw()
+	defer dc.Close()
+	defer gc.Close()
+
+	single := `<m:echo xmlns:m="urn:spi:Echo"><msg>hello</msg></m:echo>`
+	cases := []struct {
+		name string
+		doc  []byte
+	}{
+		{"garbage", []byte("this is not xml at all")},
+		{"truncated", []byte(`<?xml version="1.0"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="` + soap.V11.Namespace() + `"><SOAP-ENV:Body>`)},
+		{"version-mismatch", []byte(`<?xml version="1.0"?><E:Envelope xmlns:E="urn:not-soap"><E:Body></E:Body></E:Envelope>`)},
+		{"empty-pack", packedDoc(soap.V11, nil)},
+		{"empty-pack-12", packedDoc(soap.V12, nil)},
+		{"two-body-entries", []byte(`<?xml version="1.0"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="` + soap.V11.Namespace() + `"><SOAP-ENV:Body>` + single + single + `</SOAP-ENV:Body></SOAP-ENV:Envelope>`)},
+		{"no-body", []byte(`<?xml version="1.0"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="` + soap.V11.Namespace() + `"></SOAP-ENV:Envelope>`)},
+	}
+	for _, c := range cases {
+		diffReplies(t, c.name, c.doc,
+			post(t, dc, "/services", soap.V11.ContentType(), c.doc),
+			post(t, gc, "/services", soap.V11.ContentType(), c.doc))
+	}
+}
+
+func TestDifferentialProxyPaths(t *testing.T) {
+	// Non-packed POSTs and GETs ride the proxy path; with identical
+	// containers on backend and direct server the bytes must match too.
+	d := newDirect(t)
+	f := newFarm(t, 2, nil)
+	dc := &httpx.Client{Dial: d.link.Dial, KeepAlive: true, Timeout: 5 * time.Second}
+	gc := f.raw()
+	defer dc.Close()
+	defer gc.Close()
+
+	single := []byte(`<?xml version="1.0"?><SOAP-ENV:Envelope xmlns:SOAP-ENV="` + soap.V11.Namespace() + `"><SOAP-ENV:Body><m:echo xmlns:m="urn:spi:Echo"><msg>via proxy &amp; back</msg></m:echo></SOAP-ENV:Body></SOAP-ENV:Envelope>`)
+	diffReplies(t, "single-request", single,
+		post(t, dc, "/services/Echo", soap.V11.ContentType(), single),
+		post(t, gc, "/services/Echo", soap.V11.ContentType(), single))
+
+	for _, target := range []string{"/services/", "/services/Echo"} {
+		dresp, err := dc.Do(httpx.NewRequest("GET", target, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := reply{dresp.StatusCode, dresp.Header.Get("Content-Type"), append([]byte(nil), dresp.Body...)}
+		dresp.Release()
+		gresp, err := gc.Do(httpx.NewRequest("GET", target, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := reply{gresp.StatusCode, gresp.Header.Get("Content-Type"), append([]byte(nil), gresp.Body...)}
+		gresp.Release()
+		diffReplies(t, "GET "+target, nil, want, got)
+	}
+}

@@ -1,0 +1,297 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/metrics"
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// Config wires a Gateway.
+type Config struct {
+	// Backends lists the pool members. At least one is required.
+	Backends []BackendConfig
+	// Policy selects the sharding strategy (default RoundRobin).
+	Policy Policy
+
+	// PathPrefix must match the backends' service mount point
+	// (default "/services/"). Packed envelopes POST to the bare prefix.
+	PathPrefix string
+
+	// Registry, when set, supplies operation metadata: idempotency flags
+	// that widen sub-batch failover (registry.Operation.Idempotent). The
+	// gateway never executes operations itself, so the container's
+	// handlers are ignored — deployments typically share the service
+	// definitions with their backends.
+	Registry *registry.Container
+
+	// Retry governs sub-batch failover between backends: a failed
+	// sub-batch is re-sent to another available backend when the failure
+	// class allows it (connect failures and Server.Busy always; other
+	// transport losses only when every operation in the sub-batch is
+	// idempotent per Registry). Nil uses core.DefaultRetryPolicy;
+	// MaxAttempts < 2 disables failover.
+	Retry *core.RetryPolicy
+
+	// FailureThreshold is the consecutive-failure count that ejects a
+	// backend (default 3).
+	FailureThreshold int
+	// ReprobeAfter is how long an ejected backend sits out before the
+	// circuit half-opens (default 500ms).
+	ReprobeAfter time.Duration
+	// ProbeInterval enables active health checks (a GET of the services
+	// listing) at the given period; zero leaves health passive.
+	ProbeInterval time.Duration
+
+	// ExchangeTimeout bounds one sub-batch exchange with a backend; zero
+	// means only the client's propagated deadline applies.
+	ExchangeTimeout time.Duration
+	// MaxIdlePerBackend caps each backend's keep-alive pool (default 16).
+	MaxIdlePerBackend int
+	// MaxActivePerBackend bounds concurrent exchanges per backend; zero
+	// means unbounded.
+	MaxActivePerBackend int
+
+	// DeadlineGrace is subtracted from a propagated SPI-Deadline budget so
+	// a degraded (partial) response still reaches the client in time.
+	// Zero applies the server's default policy (budget/5, capped 100ms).
+	DeadlineGrace time.Duration
+
+	// MaxBodyBytes caps request and backend-response bodies; zero means
+	// the httpx default.
+	MaxBodyBytes int64
+
+	// Tracer, when non-nil, records gateway.scatter / gateway.backend /
+	// gateway.gather spans and per-backend in-flight gauges.
+	Tracer *trace.Tracer
+	// DebugEndpoints serves GET /spi/stats with gateway and per-backend
+	// counters.
+	DebugEndpoints bool
+}
+
+// Gateway is the scatter–gather front tier. Create with New.
+type Gateway struct {
+	cfg      Config
+	backends []*backend
+	httpSrv  *httpx.Server
+	rr       uint64 // round-robin cursor
+
+	envelopes  metrics.Counter // POSTed envelopes accepted
+	packed     metrics.Counter // of which packed (scattered)
+	proxied    metrics.Counter // of which proxied whole
+	faults     metrics.Counter // whole-message fault responses
+	itemFaults metrics.Counter // per-item faults in packed responses
+	scattered  metrics.Counter // sub-batches sent
+	failovers  metrics.Counter // sub-batches re-sent to another backend
+	degraded   metrics.Counter // slots degraded at the deadline
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// New validates the configuration and builds the gateway with one
+// keep-alive connection pool per backend.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/services/"
+	}
+	if !strings.HasSuffix(cfg.PathPrefix, "/") {
+		cfg.PathPrefix += "/"
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.ReprobeAfter <= 0 {
+		cfg.ReprobeAfter = 500 * time.Millisecond
+	}
+	if cfg.Retry == nil {
+		cfg.Retry = core.DefaultRetryPolicy()
+	}
+	g := &Gateway{cfg: cfg}
+	for i, bc := range cfg.Backends {
+		if bc.Dial == nil && bc.DialCtx == nil {
+			return nil, fmt.Errorf("gateway: backend %d has no dialer", i)
+		}
+		name := bc.Name
+		if name == "" {
+			name = fmt.Sprintf("backend%d", i)
+		}
+		g.backends = append(g.backends, &backend{
+			index: i,
+			name:  name,
+			client: &httpx.Client{
+				Dial:         bc.Dial,
+				DialCtx:      bc.DialCtx,
+				KeepAlive:    true,
+				MaxIdle:      cfg.MaxIdlePerBackend,
+				MaxActive:    cfg.MaxActivePerBackend,
+				Timeout:      cfg.ExchangeTimeout,
+				MaxBodyBytes: cfg.MaxBodyBytes,
+			},
+		})
+	}
+	g.httpSrv = &httpx.Server{
+		Handler:      g.Handle,
+		MaxBodyBytes: cfg.MaxBodyBytes,
+	}
+	if cfg.ProbeInterval > 0 {
+		g.probeStop = make(chan struct{})
+		g.probeWG.Add(1)
+		go g.probeLoop()
+	}
+	return g, nil
+}
+
+// Serve accepts connections on l until Close.
+func (g *Gateway) Serve(l net.Listener) error {
+	return g.httpSrv.Serve(l)
+}
+
+// Close shuts the gateway down: the listener stops, backend pools drain.
+func (g *Gateway) Close() error {
+	err := g.httpSrv.Close()
+	g.stop()
+	return err
+}
+
+// Shutdown drains gracefully: in-flight exchanges finish (up to the
+// timeout) before backend pools close.
+func (g *Gateway) Shutdown(timeout time.Duration) error {
+	err := g.httpSrv.Shutdown(timeout)
+	g.stop()
+	return err
+}
+
+func (g *Gateway) stop() {
+	if g.probeStop != nil {
+		close(g.probeStop)
+		g.probeWG.Wait()
+		g.probeStop = nil
+	}
+	for _, b := range g.backends {
+		b.client.Close()
+	}
+}
+
+// probeLoop actively re-checks backend health at the configured period.
+// Only ejected backends are probed — healthy ones prove themselves with
+// real traffic.
+func (g *Gateway) probeLoop() {
+	defer g.probeWG.Done()
+	t := time.NewTicker(g.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-t.C:
+			now := time.Now()
+			for _, b := range g.backends {
+				if b.ejectedNow(now) {
+					continue // circuit open: wait out the re-probe timer
+				}
+				if b.available(now) && b.consecutiveFails() == 0 {
+					continue // demonstrably healthy
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeInterval)
+				b.probe(ctx, g.cfg.PathPrefix, g.cfg.FailureThreshold, g.cfg.ReprobeAfter)
+				cancel()
+			}
+		}
+	}
+}
+
+// consecutiveFails reads the circuit's failure count.
+func (b *backend) consecutiveFails() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecFails
+}
+
+// Stats is a point-in-time snapshot of the gateway's counters.
+type Stats struct {
+	Policy string
+
+	Envelopes  int64
+	Packed     int64
+	Proxied    int64
+	Faults     int64
+	ItemFaults int64
+
+	Scattered int64
+	Failovers int64
+	Degraded  int64
+
+	Backends []BackendStats
+}
+
+// Stats snapshots the gateway and every backend.
+func (g *Gateway) Stats() Stats {
+	now := time.Now()
+	st := Stats{
+		Policy:     g.cfg.Policy.String(),
+		Envelopes:  g.envelopes.Load(),
+		Packed:     g.packed.Load(),
+		Proxied:    g.proxied.Load(),
+		Faults:     g.faults.Load(),
+		ItemFaults: g.itemFaults.Load(),
+		Scattered:  g.scattered.Load(),
+		Failovers:  g.failovers.Load(),
+		Degraded:   g.degraded.Load(),
+	}
+	for _, b := range g.backends {
+		st.Backends = append(st.Backends, b.stats(now))
+	}
+	return st
+}
+
+// debugPathPrefix mirrors the server's debug mount point.
+const debugPathPrefix = "/spi/"
+
+// statsSnapshot is the /spi/stats JSON shape: the gateway snapshot plus
+// the tracer's stage and gauge views when tracing is on.
+type statsSnapshot struct {
+	Gateway Stats                `json:"gateway"`
+	Stages  []trace.StageSummary `json:"stages,omitempty"`
+	Gauges  []trace.GaugeValue   `json:"gauges,omitempty"`
+}
+
+// handleDebug serves GET /spi/stats.
+func (g *Gateway) handleDebug(req *httpx.Request) *httpx.Response {
+	target := req.Target
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		target = target[:i]
+	}
+	if target != debugPathPrefix+"stats" {
+		resp := httpx.NewResponse(404, []byte("no such debug endpoint\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	snap := statsSnapshot{Gateway: g.Stats()}
+	if tr := g.cfg.Tracer; tr.Enabled() {
+		snap.Stages = tr.Stages()
+		snap.Gauges = tr.Gauges()
+	}
+	body, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		resp := httpx.NewResponse(500, []byte("stats marshal failed\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	body = append(body, '\n')
+	resp := httpx.NewResponse(200, body)
+	resp.Header.Set("Content-Type", "application/json")
+	return resp
+}

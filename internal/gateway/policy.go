@@ -1,0 +1,138 @@
+package gateway
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Policy selects how Parallel_Method entries map onto backends.
+type Policy int
+
+const (
+	// RoundRobin spreads consecutive entries across backends in turn —
+	// the default; maximizes parallelism for uniform work.
+	RoundRobin Policy = iota
+	// LeastLoaded assigns each entry to the backend with the fewest
+	// sub-batches in flight (counting this request's own assignments), so
+	// slow backends accumulate less work.
+	LeastLoaded
+	// OpAffinity hashes (service, operation) onto the backend list, so
+	// the same operation always lands on the same healthy backend —
+	// keeps per-operation caches warm on a heterogeneous farm.
+	OpAffinity
+)
+
+// String names the policy for flags and stats.
+func (p Policy) String() string {
+	switch p {
+	case LeastLoaded:
+		return "least-loaded"
+	case OpAffinity:
+		return "op-affinity"
+	default:
+		return "round-robin"
+	}
+}
+
+// ParsePolicy maps a flag value to a Policy; unknown values fall back to
+// round-robin.
+func ParsePolicy(s string) Policy {
+	switch s {
+	case "least-loaded":
+		return LeastLoaded
+	case "op-affinity":
+		return OpAffinity
+	default:
+		return RoundRobin
+	}
+}
+
+// assign shards the live (non-faulted) entries across the currently
+// available backends. The returned slice is indexed by backend; nil shards
+// get no sub-batch. When every circuit is open the full pool is used —
+// failing open gives re-probes a chance instead of failing every entry.
+func (g *Gateway) assign(entries []*core.ScatterEntry) [][]*core.ScatterEntry {
+	now := time.Now()
+	candidates := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		if b.available(now) {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = g.backends
+	}
+	shards := make([][]*core.ScatterEntry, len(g.backends))
+	switch g.cfg.Policy {
+	case LeastLoaded:
+		// Snapshot in-flight counts once and add this batch's own
+		// assignments on top, so one request doesn't dog-pile the backend
+		// that merely happened to be idle at the first entry.
+		load := make([]int64, len(candidates))
+		for i, b := range candidates {
+			load[i] = b.inflight.Load()
+		}
+		for _, e := range entries {
+			if e.Fault != nil {
+				continue
+			}
+			min := 0
+			for i := 1; i < len(candidates); i++ {
+				if load[i] < load[min] {
+					min = i
+				}
+			}
+			shards[candidates[min].index] = append(shards[candidates[min].index], e)
+			load[min]++
+		}
+	case OpAffinity:
+		for _, e := range entries {
+			if e.Fault != nil {
+				continue
+			}
+			h := fnv.New32a()
+			h.Write([]byte(e.Service))
+			h.Write([]byte{'.'})
+			h.Write([]byte(e.Op))
+			b := candidates[int(h.Sum32())%len(candidates)]
+			shards[b.index] = append(shards[b.index], e)
+		}
+	default: // RoundRobin
+		for _, e := range entries {
+			if e.Fault != nil {
+				continue
+			}
+			n := atomic.AddUint64(&g.rr, 1) - 1
+			b := candidates[int(n%uint64(len(candidates)))]
+			shards[b.index] = append(shards[b.index], e)
+		}
+	}
+	return shards
+}
+
+// pickBackend chooses one available backend for whole-request proxying and
+// sub-batch failover. exclude skips a backend that just failed, unless it
+// is the only one left.
+func (g *Gateway) pickBackend(exclude *backend) *backend {
+	now := time.Now()
+	var fallback *backend
+	n := len(g.backends)
+	start := int(atomic.AddUint64(&g.rr, 1) - 1)
+	for i := 0; i < n; i++ {
+		b := g.backends[(start+i)%n]
+		if b == exclude {
+			fallback = b
+			continue
+		}
+		if b.available(now) {
+			return b
+		}
+		if fallback == nil {
+			fallback = b
+		}
+	}
+	return fallback
+}

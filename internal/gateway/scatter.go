@@ -1,0 +1,383 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/soap"
+	"repro/internal/trace"
+)
+
+// Handle is the gateway's HTTP handler: packed POSTs are scattered across
+// the backend pool; everything else (single requests, WSDL GETs) is
+// proxied whole to one backend, so the gateway is a drop-in endpoint.
+func (g *Gateway) Handle(ctx context.Context, req *httpx.Request) *httpx.Response {
+	if req.Method == "GET" {
+		if g.cfg.DebugEndpoints && strings.HasPrefix(req.Target, debugPathPrefix) {
+			return g.handleDebug(req)
+		}
+		return g.proxy(ctx, req)
+	}
+	if req.Method != "POST" {
+		resp := httpx.NewResponse(405, []byte("SOAP endpoint: POST only\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	defaultService, ok := g.serviceFromPath(req.Target)
+	if !ok {
+		resp := httpx.NewResponse(404, []byte("no such endpoint\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+
+	// Adopt the client's trace id so gateway spans correlate with the
+	// client's and the backends'.
+	tr := g.cfg.Tracer
+	if tr.Enabled() {
+		tid := gatewayTraceID(req)
+		if tid == 0 {
+			tid = tr.Begin()
+		}
+		ctx = trace.NewContext(ctx, tid)
+	}
+
+	scatterStart := time.Now()
+	sr, fault := core.ParseScatterRequest(req.Body, defaultService)
+	if fault != nil {
+		// Whole-message faults preserve the direct server's precedence and
+		// bytes: decode errors answer in SOAP 1.1, body-shape faults in the
+		// request's own version.
+		g.faults.Inc()
+		v := soap.V11
+		if sr != nil {
+			v = sr.Version
+		}
+		return core.GatewayFaultResponse(fault, v)
+	}
+	g.envelopes.Inc()
+	if !sr.Packed {
+		g.proxied.Inc()
+		return g.proxy(ctx, req)
+	}
+	g.packed.Inc()
+	return g.scatterGather(ctx, req, sr, scatterStart)
+}
+
+// serviceFromPath resolves the target path against the prefix: the bare
+// prefix is the pack endpoint (no default service), a sub-path names the
+// default service for unannotated entries — same routing as the server.
+func (g *Gateway) serviceFromPath(target string) (string, bool) {
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		target = target[:i]
+	}
+	bare := strings.TrimSuffix(g.cfg.PathPrefix, "/")
+	if target == bare || target == g.cfg.PathPrefix {
+		return "", true
+	}
+	if !strings.HasPrefix(target, g.cfg.PathPrefix) {
+		return "", false
+	}
+	return strings.TrimPrefix(target, g.cfg.PathPrefix), true
+}
+
+// packTarget is the URL sub-batches POST to on backends.
+func (g *Gateway) packTarget() string {
+	return strings.TrimSuffix(g.cfg.PathPrefix, "/")
+}
+
+// gatewayTraceID parses the SPI-Trace header; zero means absent.
+func gatewayTraceID(req *httpx.Request) uint64 {
+	v := req.Header.Get(core.HeaderTrace)
+	if v == "" {
+		return 0
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// deadlineBudget reads the propagated SPI-Deadline budget.
+func deadlineBudget(req *httpx.Request) time.Duration {
+	v := req.Header.Get(core.HeaderDeadline)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// shortenBudget mirrors the server's grace policy so a degraded response
+// still beats the client's own deadline.
+func (g *Gateway) shortenBudget(budget time.Duration) time.Duration {
+	grace := g.cfg.DeadlineGrace
+	if grace <= 0 {
+		grace = budget / 5
+		if grace > 100*time.Millisecond {
+			grace = 100 * time.Millisecond
+		}
+	}
+	if budget > grace {
+		budget -= grace
+	}
+	return budget
+}
+
+// scatterGather shards the parsed entries, fans the sub-batches out, and
+// reassembles the packed response in slot order through the reorder-window
+// collector.
+func (g *Gateway) scatterGather(ctx context.Context, req *httpx.Request, sr *core.ScatterRequest, scatterStart time.Time) *httpx.Response {
+	tr := g.cfg.Tracer
+	if budget := deadlineBudget(req); budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.shortenBudget(budget))
+		defer cancel()
+	}
+
+	ids := make([]int, len(sr.Entries))
+	for i, e := range sr.Entries {
+		ids[i] = e.ID
+	}
+	col := core.NewGatherCollector(ids)
+	for _, e := range sr.Entries {
+		if e.Fault != nil {
+			col.Fail(e.Slot, e.Fault)
+		}
+	}
+
+	shards := g.assign(sr.Entries)
+	for bi, shard := range shards {
+		if len(shard) == 0 {
+			continue
+		}
+		g.scattered.Inc()
+		go g.sendShard(ctx, g.backends[bi], sr, shard, col)
+	}
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageGatewayScatter,
+			ID: -1, Op: req.Target, Start: scatterStart, Service: time.Since(scatterStart)})
+	}
+
+	gatherStart := time.Now()
+	resp, itemFaults, err := col.Assemble(ctx, sr.Version, func(slot int) *soap.Fault {
+		g.degraded.Inc()
+		return degradeFault(ctx, sr.Entries[slot])
+	})
+	if err != nil {
+		g.faults.Inc()
+		return core.GatewayFaultResponse(soap.ServerFault("assembling packed response: %v", err), sr.Version)
+	}
+	g.itemFaults.Add(int64(itemFaults))
+	if tr.Enabled() {
+		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageGatewayGather,
+			ID: -1, Op: req.Target, Start: gatherStart, Service: time.Since(gatherStart)})
+	}
+	return resp
+}
+
+// degradeFault is the per-item fault for a slot the gateway stopped
+// waiting on — byte-identical to the direct server abandoning the same
+// entry (abandonResult).
+func degradeFault(ctx context.Context, e *core.ScatterEntry) *soap.Fault {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return &soap.Fault{Code: core.FaultCodeTimeout,
+			String: fmt.Sprintf("deadline expired before %s.%s finished", e.Service, e.Op)}
+	}
+	return &soap.Fault{Code: core.FaultCodeCancelled,
+		String: fmt.Sprintf("caller cancelled before %s.%s finished", e.Service, e.Op)}
+}
+
+// allIdempotent reports whether every operation in the shard is marked
+// idempotent in the registry — the gate for failing over sub-batches whose
+// first attempt may already have executed.
+func (g *Gateway) allIdempotent(shard []*core.ScatterEntry) bool {
+	if g.cfg.Registry == nil {
+		return false
+	}
+	for _, e := range shard {
+		if !g.cfg.Registry.Idempotent(e.Service, e.Op) {
+			return false
+		}
+	}
+	return true
+}
+
+// sendShard delivers one sub-batch: build once, exchange, and on an
+// eligible failure fail over to another available backend under the retry
+// policy. Exhausted or ineligible failures degrade the shard's slots to
+// per-item faults; slots already degraded by the deadline ignore late
+// deliveries (first write wins).
+func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterRequest, shard []*core.ScatterEntry, col *core.GatherCollector) {
+	doc, err := core.BuildSubBatch(sr.Version, sr.Headers, shard)
+	if err != nil {
+		f := soap.ServerFault("building sub-batch: %v", err)
+		for _, e := range shard {
+			col.Fail(e.Slot, f)
+		}
+		return
+	}
+	idem := g.allIdempotent(shard)
+	p := g.cfg.Retry
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	for attempt := 1; ; attempt++ {
+		segs, rawHeader, err := g.exchange(ctx, b, sr.Version, doc, len(shard))
+		if err == nil {
+			b.noteSuccess()
+			col.AddHeader(b.index, rawHeader)
+			for k, e := range shard {
+				col.Deliver(e.Slot, segs[k])
+			}
+			return
+		}
+		b.noteFailure(g.cfg.FailureThreshold, g.cfg.ReprobeAfter)
+		if attempt >= attempts || ctx.Err() != nil || !core.RetryableError(err, idem) {
+			for _, e := range shard {
+				col.Fail(e.Slot, shardFault(ctx, e, err))
+			}
+			return
+		}
+		if sleepCtx(ctx, p.Backoff(attempt)) != nil {
+			for _, e := range shard {
+				col.Fail(e.Slot, shardFault(ctx, e, err))
+			}
+			return
+		}
+		if next := g.pickBackend(b); next != nil && next != b {
+			b.failovers.Inc()
+			g.failovers.Inc()
+			b = next
+		}
+	}
+}
+
+// shardFault maps a failed sub-batch to its per-item fault: the caller's
+// own expiry uses the server's deadline/cancel texts (byte parity with a
+// direct server degrading the same entry); anything else is Server.Busy —
+// the work never produced a response, and re-sending the entry is the
+// client's call.
+func shardFault(ctx context.Context, e *core.ScatterEntry, err error) *soap.Fault {
+	if ctx.Err() != nil {
+		return degradeFault(ctx, e)
+	}
+	return &soap.Fault{Code: core.FaultCodeBusy,
+		String: fmt.Sprintf("no backend available for %s.%s: %v", e.Service, e.Op, err)}
+}
+
+// sleepCtx waits out one backoff, honoring ctx.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// exchange performs one sub-batch POST against a backend and splits the
+// reply into per-entry segments.
+func (g *Gateway) exchange(ctx context.Context, b *backend, v soap.Version, doc []byte, want int) (segments [][]byte, rawHeader []byte, err error) {
+	tr := g.cfg.Tracer
+	start := time.Now()
+	b.exchanges.Inc()
+	n := b.inflight.Add(1)
+	if tr.Enabled() {
+		tr.Gauge("gateway." + b.name + ".inflight").Set(n)
+	}
+	defer func() {
+		left := b.inflight.Add(-1)
+		if tr.Enabled() {
+			tr.Gauge("gateway." + b.name + ".inflight").Set(left)
+			tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageGatewayBackend,
+				ID: -1, Op: b.name, Start: start, Service: time.Since(start)})
+		}
+	}()
+
+	extra := make([]string, 0, 6)
+	extra = append(extra, "SOAPAction", `""`)
+	if deadline, ok := ctx.Deadline(); ok {
+		if budget := time.Until(deadline); budget > 0 {
+			extra = append(extra, core.HeaderDeadline, strconv.FormatInt(budget.Milliseconds(), 10))
+		}
+	}
+	if id := trace.FromContext(ctx); id != 0 {
+		extra = append(extra, core.HeaderTrace, strconv.FormatUint(id, 10))
+	}
+	resp, err := b.client.PostCtx(ctx, g.packTarget(), v.ContentType(), doc, extra...)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Release()
+	if resp.StatusCode != 200 {
+		// A whole-message fault for a gateway-built sub-batch (the backend
+		// rejected what we sent); surface it for retry classification.
+		if f := core.DecodeBackendFault(resp.Body); f != nil {
+			return nil, nil, f
+		}
+		return nil, nil, fmt.Errorf("gateway: backend %s answered HTTP %d", b.name, resp.StatusCode)
+	}
+	segments, rawHeader, err = core.SplitGatherResponse(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(segments) != want {
+		return nil, nil, fmt.Errorf("gateway: backend %s returned %d entries for %d requests", b.name, len(segments), want)
+	}
+	return segments, rawHeader, nil
+}
+
+// proxy forwards a request whole to one backend and relays the reply —
+// the non-packed path, byte-transparent by construction.
+func (g *Gateway) proxy(ctx context.Context, req *httpx.Request) *httpx.Response {
+	b := g.pickBackend(nil)
+	if b == nil {
+		resp := httpx.NewResponse(503, []byte("no backend available\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	out := httpx.NewRequest(req.Method, req.Target, req.Body)
+	for _, h := range [...]string{"Content-Type", "SOAPAction", core.HeaderDeadline, core.HeaderTrace} {
+		if v := req.Header.Get(h); v != "" {
+			out.Header.Set(h, v)
+		}
+	}
+	b.exchanges.Inc()
+	n := b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	_ = n
+	resp, err := b.client.DoCtx(ctx, out)
+	if err != nil {
+		b.noteFailure(g.cfg.FailureThreshold, g.cfg.ReprobeAfter)
+		g.faults.Inc()
+		resp := httpx.NewResponse(502, []byte("backend exchange failed: "+err.Error()+"\n"))
+		resp.Header.Set("Content-Type", "text/plain")
+		return resp
+	}
+	b.noteSuccess()
+	// Relay status, content type and body. The body may alias a pooled
+	// buffer owned by the backend client's response; copy so the transport
+	// can write it after this handler returns without a lifetime knot.
+	relay := httpx.NewResponse(resp.StatusCode, append([]byte(nil), resp.Body...))
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		relay.Header.Set("Content-Type", ct)
+	}
+	resp.Release()
+	return relay
+}

@@ -16,6 +16,12 @@ import (
 // and the simulated link of package netsim.
 type Dialer func() (net.Conn, error)
 
+// DialerCtx is a context-aware Dialer: the context's deadline and
+// cancellation bound connection establishment itself, not just the
+// exchange that follows. net.Dialer.DialContext satisfies it directly;
+// netsim links wrap their Dial in one line.
+type DialerCtx func(ctx context.Context) (net.Conn, error)
+
 // DialError wraps a connection-establishment failure. Because the request
 // was never written when dialing failed, a DialError is always safe to
 // retry regardless of the operation's idempotency — the distinction the
@@ -39,12 +45,20 @@ func (e *DialError) Unwrap() error { return e.Err }
 // per-message SOAP clients); with KeepAlive true idle connections are pooled
 // and reused.
 type Client struct {
-	// Dial is required.
+	// Dial is required unless DialCtx is set.
 	Dial Dialer
+	// DialCtx, when set, is preferred over Dial: connection establishment
+	// is cancelled when the request's context expires, so deadline
+	// propagation covers the dial, not just the exchange.
+	DialCtx DialerCtx
 	// KeepAlive selects connection reuse.
 	KeepAlive bool
 	// MaxIdle caps the number of pooled idle connections (default 16).
 	MaxIdle int
+	// MaxActive bounds concurrent exchanges (a health-check-friendly
+	// backpressure seam for pool consumers like the gateway). Zero means
+	// unbounded. Waiting for a slot honors the request context.
+	MaxActive int
 	// Timeout bounds one full request-response exchange; zero means none.
 	Timeout time.Duration
 	// MaxBodyBytes caps response bodies; zero means DefaultMaxBodyBytes.
@@ -54,9 +68,60 @@ type Client struct {
 	// tracing at the cost of one branch per exchange.
 	Tracer *trace.Tracer
 
-	mu     sync.Mutex
-	idle   []*persistConn
-	closed bool
+	mu       sync.Mutex
+	idle     []*persistConn
+	closed   bool
+	sem      chan struct{} // lazily sized to MaxActive
+	inflight int
+}
+
+// PoolStats is a point-in-time view of the client's connection pool.
+type PoolStats struct {
+	// Idle is the number of pooled keep-alive connections.
+	Idle int
+	// InFlight is the number of exchanges currently running.
+	InFlight int
+}
+
+// PoolStats reports the pool's current occupancy.
+func (c *Client) PoolStats() PoolStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PoolStats{Idle: len(c.idle), InFlight: c.inflight}
+}
+
+// acquire claims an exchange slot (when MaxActive bounds the pool) and
+// counts the exchange in flight. The returned release must be called once
+// the exchange ends.
+func (c *Client) acquire(ctx context.Context) (func(), error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	if c.MaxActive > 0 && c.sem == nil {
+		c.sem = make(chan struct{}, c.MaxActive)
+	}
+	sem := c.sem
+	c.mu.Unlock()
+	if sem != nil {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("httpx: waiting for exchange slot: %w", ctx.Err())
+		}
+	}
+	c.mu.Lock()
+	c.inflight++
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+		if sem != nil {
+			<-sem
+		}
+	}, nil
 }
 
 type persistConn struct {
@@ -75,9 +140,11 @@ func (c *Client) Do(req *Request) (*Response, error) {
 
 // DoCtx is Do under a context: the context's deadline bounds the exchange
 // (combined with Timeout, whichever is sooner) and cancelling it closes
-// the in-flight connection, unblocking the exchange immediately. Dialing
-// itself is not interruptible — the Dialer signature predates contexts —
-// but both simulated and loopback dials complete in microseconds.
+// the in-flight connection, unblocking the exchange immediately. With
+// DialCtx set the dial itself is cancellable too; the legacy Dialer runs
+// uninterrupted (its signature predates contexts), which only matters for
+// dials that can hang — simulated and loopback dials complete in
+// microseconds.
 func (c *Client) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 	if !c.Tracer.Enabled() {
 		return c.doCtx(ctx, req)
@@ -97,14 +164,19 @@ func (c *Client) DoCtx(ctx context.Context, req *Request) (*Response, error) {
 
 // doCtx performs the exchange (see DoCtx).
 func (c *Client) doCtx(ctx context.Context, req *Request) (*Response, error) {
-	if c.Dial == nil {
+	if c.Dial == nil && c.DialCtx == nil {
 		return nil, errors.New("httpx: client has no Dial")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("httpx: %w", err)
 	}
+	release, err := c.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	reused := false
-	pc, err := c.getConn(&reused)
+	pc, err := c.getConn(ctx, &reused)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +185,7 @@ func (c *Client) doCtx(ctx context.Context, req *Request) (*Response, error) {
 		// Stale keep-alive connection: retry once on a fresh one.
 		pc.conn.Close()
 		reused = false
-		pc, err = c.getConn(&reused)
+		pc, err = c.getConn(ctx, &reused)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +248,7 @@ func (c *Client) roundTrip(ctx context.Context, pc *persistConn, req *Request) (
 	return resp, nil
 }
 
-func (c *Client) getConn(reused *bool) (*persistConn, error) {
+func (c *Client) getConn(ctx context.Context, reused *bool) (*persistConn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -190,7 +262,13 @@ func (c *Client) getConn(reused *bool) (*persistConn, error) {
 		return pc, nil
 	}
 	c.mu.Unlock()
-	conn, err := c.Dial()
+	var conn net.Conn
+	var err error
+	if c.DialCtx != nil {
+		conn, err = c.DialCtx(ctx)
+	} else {
+		conn, err = c.Dial()
+	}
 	if err != nil {
 		return nil, &DialError{Err: err}
 	}

@@ -1,0 +1,50 @@
+package httpx
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadResponse hammers the client-side response parser: status line,
+// headers, content-length and chunked bodies. The invariants are that it
+// never panics, never returns a response with an out-of-range status, and
+// never hands back a body larger than the configured cap.
+func FuzzReadResponse(f *testing.F) {
+	seeds := []string{
+		"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello",
+		"HTTP/1.1 204 No Content\r\n\r\n",
+		"HTTP/1.1 500 Internal Server Error\r\nContent-Type: text/plain\r\nContent-Length: 4\r\n\r\nboom",
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\nTrailer: x\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nrest-until-eof",
+		"HTTP/1.0 301 Moved\r\nLocation: /x\r\n\r\n",
+		"HTTP/1.1 200\r\n\r\n",
+		"HTTP/1.1 999 Weird\r\nA:\r\nB: \t v\r\n\r\n",
+		"garbage",
+		"HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999\r\n\r\n",
+		"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nffffffffffffffff\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxBody = 1 << 16
+		resp, err := ReadResponse(bufio.NewReader(bytes.NewReader(data)), maxBody)
+		if err != nil {
+			return
+		}
+		if resp.StatusCode < 100 || resp.StatusCode > 999 {
+			t.Fatalf("status code out of range: %d", resp.StatusCode)
+		}
+		if len(resp.Body) > maxBody {
+			t.Fatalf("body exceeds cap: %d > %d", len(resp.Body), maxBody)
+		}
+		// A parsed response must re-serialize without error.
+		var buf bytes.Buffer
+		if err := WriteResponse(&buf, resp, false); err != nil {
+			t.Fatalf("reserialize: %v", err)
+		}
+		resp.Release()
+	})
+}

@@ -77,6 +77,10 @@ type Operation struct {
 	Name    string
 	Doc     string
 	Handler Handler
+	// Idempotent declares that re-executing the operation is safe, which
+	// widens what clients and the gateway may retry or fail over after a
+	// response was lost in flight.
+	Idempotent bool
 }
 
 // Service is a named collection of operations sharing a namespace.
@@ -111,6 +115,30 @@ func (s *Service) MustRegister(name string, h Handler, doc string) {
 	if err := s.Register(name, h, doc); err != nil {
 		panic(err)
 	}
+}
+
+// MarkIdempotent flags the named operations as safe to re-execute.
+// Unknown names are ignored, so services can mark optimistically.
+func (s *Service) MarkIdempotent(names ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, name := range names {
+		if op, ok := s.ops[name]; ok {
+			op.Idempotent = true
+		}
+	}
+}
+
+// Idempotent reports whether (service, operation) is registered and marked
+// safe to re-execute. Unknown targets are not idempotent: a retry of a
+// request the container cannot even route gains nothing.
+func (c *Container) Idempotent(service, operation string) bool {
+	s, ok := c.Service(service)
+	if !ok {
+		return false
+	}
+	op, ok := s.Operation(operation)
+	return ok && op.Idempotent
 }
 
 // Operation looks up one operation by name.

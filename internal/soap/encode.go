@@ -60,15 +60,15 @@ var (
 	nameFaultstr  = xmltext.Name{Local: "faultstring"}
 	nameFaultact  = xmltext.Name{Local: "faultactor"}
 
-	nameFault12   = xmltext.Name{Prefix: "env", Local: "Fault"}
-	nameXmlnsE12  = xmltext.Name{Prefix: "xmlns", Local: "env"}
-	nameCode12    = xmltext.Name{Prefix: "env", Local: "Code"}
-	nameValue12   = xmltext.Name{Prefix: "env", Local: "Value"}
-	nameReason12  = xmltext.Name{Prefix: "env", Local: "Reason"}
-	nameText12    = xmltext.Name{Prefix: "env", Local: "Text"}
-	nameNode12    = xmltext.Name{Prefix: "env", Local: "Node"}
-	nameDetail12  = xmltext.Name{Prefix: "env", Local: "Detail"}
-	nameXMLLang   = xmltext.Name{Prefix: "xml", Local: "lang"}
+	nameFault12  = xmltext.Name{Prefix: "env", Local: "Fault"}
+	nameXmlnsE12 = xmltext.Name{Prefix: "xmlns", Local: "env"}
+	nameCode12   = xmltext.Name{Prefix: "env", Local: "Code"}
+	nameValue12  = xmltext.Name{Prefix: "env", Local: "Value"}
+	nameReason12 = xmltext.Name{Prefix: "env", Local: "Reason"}
+	nameText12   = xmltext.Name{Prefix: "env", Local: "Text"}
+	nameNode12   = xmltext.Name{Prefix: "env", Local: "Node"}
+	nameDetail12 = xmltext.Name{Prefix: "env", Local: "Detail"}
+	nameXMLLang  = xmltext.Name{Prefix: "xml", Local: "lang"}
 )
 
 // Begin writes the declaration, the envelope start tag with the standard
@@ -87,6 +87,26 @@ func (enc *StreamEncoder) Begin(v Version, headers []*xmldom.Element) {
 		for _, b := range headers {
 			b.AppendTo(em)
 		}
+		em.End()
+	}
+	em.Start(nameBody)
+}
+
+// BeginRawHeader is Begin for callers that hold the header blocks as
+// pre-serialized bytes rather than a DOM — the gateway splices header
+// sections straight out of backend responses. Empty raw omits the Header
+// element, exactly as Begin does for a nil slice.
+func (enc *StreamEncoder) BeginRawHeader(v Version, raw []byte) {
+	em := enc.em
+	em.Declaration()
+	em.Start(nameEnvelope)
+	em.Attr(nameXmlnsEnv, v.Namespace())
+	em.Attr(nameXmlnsEnc, NSEncoding)
+	em.Attr(nameXmlnsXSI, NSXSI)
+	em.Attr(nameXmlnsXSD, NSXSD)
+	if len(raw) > 0 {
+		em.Start(nameHeader)
+		em.Raw(raw)
 		em.End()
 	}
 	em.Start(nameBody)

@@ -10,17 +10,27 @@ import (
 )
 
 func TestInternReturnsSharedCopy(t *testing.T) {
-	a := Intern([]byte("urn:intern-test:shared"))
-	b := Intern([]byte("urn:intern-test:shared"))
-	if a != b {
-		t.Fatalf("interned strings differ: %q vs %q", a, b)
-	}
+	// A seeded vocabulary string always hits the shared copy, regardless
+	// of how full earlier tests (shuffled in any order) left the table.
+	a := Intern([]byte("spi:id"))
+	b := Intern([]byte("spi:id"))
 	if unsafe.StringData(a) != unsafe.StringData(b) {
+		t.Error("second Intern of a seeded string did not return the shared copy")
+	}
+	// A fresh string shares its copy only while the table has room.
+	size, _ := internSize()
+	c := Intern([]byte("urn:intern-test:shared"))
+	d := Intern([]byte("urn:intern-test:shared"))
+	if c != d {
+		t.Fatalf("interned strings differ: %q vs %q", c, d)
+	}
+	if size < maxInternEntries && unsafe.StringData(c) != unsafe.StringData(d) {
 		t.Error("second Intern of the same bytes did not return the shared copy")
 	}
 }
 
 func TestInternNameSplitsOnce(t *testing.T) {
+	_, names := internSize()
 	n1 := InternName([]byte("spi:internTestOp"))
 	n2 := InternName([]byte("spi:internTestOp"))
 	if n1 != n2 {
@@ -29,7 +39,9 @@ func TestInternNameSplitsOnce(t *testing.T) {
 	if n1.Prefix != "spi" || n1.Local != "internTestOp" {
 		t.Fatalf("bad split: %+v", n1)
 	}
-	if unsafe.StringData(n1.Local) != unsafe.StringData(n2.Local) {
+	// Pointer identity needs the name remembered, which needs table room —
+	// shuffled test orders may have filled it first.
+	if names < maxInternEntries && unsafe.StringData(n1.Local) != unsafe.StringData(n2.Local) {
 		t.Error("second InternName did not return the cached Name")
 	}
 }
