@@ -3,12 +3,12 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools race-gateway bench figures fuzz-smoke bench-check bench-gate vet-escapes
+.PHONY: check build vet test race race-pools race-gateway bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
 
 ## check: the full gate — build, vet, race-enabled shuffled tests,
 ## pool-lifecycle tests under -race, the gateway differential/chaos suite
-## under -race, the encode-path escape audit, and the perf-regression gate
-## vs the baseline chain.
+## under -race, the encode-path escape audit, the docs link audit, and the
+## perf-regression gate vs the baseline chain.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -16,6 +16,7 @@ check:
 	$(MAKE) race-pools
 	$(MAKE) race-gateway
 	$(MAKE) vet-escapes
+	$(MAKE) docs-check
 	$(MAKE) bench-gate
 
 build:
@@ -62,7 +63,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
 	$(GO) test -run='^$$' -fuzz='^FuzzReadResponse$$' -fuzztime=10s ./internal/httpx
 
-## bench-check: snapshot the key benchmarks to BENCH_pr5.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr6.json (perf guard).
 bench-check:
 	$(GO) run ./cmd/benchcheck
 
@@ -73,7 +74,11 @@ bench-check:
 ## step-function regressions.
 bench-gate:
 	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
-		-baseline BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+		-baseline BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+
+## docs-check: fail on broken relative links in README.md and docs/*.md.
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 ## vet-escapes: audit the streaming encode hot path for unexpected heap
 ## escapes. The stack scratch buffers in the soap/soapenc writers must stay

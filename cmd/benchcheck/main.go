@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr5.json
+//	benchcheck                 # writes BENCH_pr6.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
 //	benchcheck -baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 10
@@ -26,10 +26,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gateway"
 	"repro/internal/msgcache"
 	"repro/internal/netsim"
 	"repro/internal/soap"
@@ -76,7 +79,7 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	baseline := flag.String("baseline", "", "comma-separated baseline chain to compare against, first file wins per benchmark (empty disables)")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
@@ -224,6 +227,55 @@ func main() {
 	}
 	gatewayE2E("e2e/gw-packed-16-1-backend", 1)
 	gatewayE2E("e2e/gw-packed-16-4-backends", 4)
+
+	// --- gateway cross-client coalescing ------------------------------
+	// 16 independent single-call clients fire concurrently per iteration;
+	// the gateway pools them into packed batches. Guards the coalescer's
+	// end-to-end latency (flush window + batch round trip + split-back).
+	{
+		env, err := bench.NewGatewayEnv(bench.GatewayOptions{
+			Backends: 2, Network: netsim.Fast(), AppWorkers: 8,
+			Coalesce: gateway.CoalesceConfig{
+				Enabled:     true,
+				FlushWindow: 100 * time.Microsecond,
+				MaxBatch:    16,
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fleet := make([]*core.Client, 16)
+		for i := range fleet {
+			if fleet[i], err = env.NewClient(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		add(measure("e2e/gw-coalesced-singles-16", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, len(fleet))
+				for j := range fleet {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						_, errs[j] = fleet[j].Call("Echo", "echo", arg)
+					}(j)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}))
+		for _, c := range fleet {
+			c.Close()
+		}
+		env.Close()
+	}
 
 	report.GoVersion = runtime.Version()
 	blob, err := json.MarshalIndent(report, "", "  ")

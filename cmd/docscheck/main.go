@@ -1,0 +1,98 @@
+// Command docscheck audits the repository's markdown documentation for
+// broken relative links. It scans README.md and docs/*.md for inline
+// links — `[text](target)` — and verifies that every relative target
+// resolves to an existing file or directory. External links (http, https,
+// mailto) and pure in-page anchors (#fragment) are skipped; a fragment on
+// a relative link is stripped before the existence check.
+//
+// Usage:
+//
+//	docscheck             # audit README.md and docs/*.md under the cwd
+//	docscheck -root DIR   # audit another checkout
+//
+// Exit status is non-zero when any link is broken, so `make docs-check`
+// can hold the line in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links, capturing the target. It
+// deliberately does not match reference-style definitions or autolinks —
+// the repo's docs use inline links throughout.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to audit")
+	flag.Parse()
+
+	var files []string
+	if _, err := os.Stat(filepath.Join(*root, "README.md")); err == nil {
+		files = append(files, filepath.Join(*root, "README.md"))
+	}
+	docs, err := filepath.Glob(filepath.Join(*root, "docs", "*.md"))
+	if err != nil {
+		fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no markdown files found under %s", *root))
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		blob, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		for lineNo, line := range strings.Split(string(blob), "\n") {
+			for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				// Drop any #fragment: heading anchors can't be verified
+				// without parsing the target, but the file must exist.
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				checked++
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "docscheck: %s:%d: broken link %q (%s does not exist)\n",
+						file, lineNo+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken link(s) in %d files\n", broken, len(files))
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d relative links ok across %d files\n", checked, len(files))
+}
+
+// skip reports whether the link target is external or an in-page anchor —
+// neither is checked against the filesystem.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+	os.Exit(1)
+}

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	spibench                  # run everything (Figures 5-7, travel, WSS, ablations)
-//	spibench -fig 5           # one figure: 5, 6, 7, wss, travel, ablation
+//	spibench -fig 5           # one figure: 5, 6, 7, wss, travel, ablation, ...
+//	spibench -fig coalesce    # gateway cross-client coalescing on vs off
 //	spibench -reps 10         # repetitions per point (default 5)
 //	spibench -m 1,16,128      # restrict the M sweep
 //
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 5, 6, 7, wss, wan, travel, throughput, breakdown, trace, micro, related, ablation, faults, gateway, all")
+	fig := flag.String("fig", "all", "which experiment: 5, 6, 7, wss, wan, travel, throughput, breakdown, trace, micro, related, ablation, faults, gateway, coalesce, all")
 	reps := flag.Int("reps", 5, "repetitions per measured point")
 	mlist := flag.String("m", "", "comma-separated M values (default: the paper's 1,2,4,...,128)")
 	flag.Parse()
@@ -178,8 +179,16 @@ func main() {
 		bench.PrintAblation(os.Stdout, r)
 		ran = true
 	}
+	if run("coalesce") {
+		r, err := bench.RunCoalesce(*reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintAblation(os.Stdout, r)
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "spibench: unknown -fig %q (want 5, 6, 7, wss, travel, related, ablation, faults, gateway or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "spibench: unknown -fig %q (want 5, 6, 7, wss, travel, related, ablation, faults, gateway, coalesce or all)\n", *fig)
 		os.Exit(2)
 	}
 }

@@ -8,6 +8,15 @@
 //	spigateway -addr :8090 -backends host1:8080,host2:8080
 //	spigateway -addr :8090 -backends host1:8080,host2:8080 -policy least-loaded
 //	spigateway -addr :8090 -backends host1:8080 -probe 2s -stats
+//	spigateway -addr :8090 -backends host1:8080,host2:8080 \
+//	    -coalesce -flush-window 1ms -max-batch 64 -max-bytes 262144
+//
+// With -coalesce, concurrent single-call envelopes targeting the same
+// operation are merged into synthetic packed batches toward the backends
+// (each flushed after -flush-window, or sooner when -max-batch entries or
+// -max-bytes of bodies accumulate, or when a member's SPI-Deadline is
+// tight), then split back so every client's reply is byte-identical to
+// the uncoalesced path.
 //
 // Endpoints mirror the servers':
 //
@@ -44,6 +53,10 @@ func main() {
 	maxIdle := flag.Int("max-idle", 16, "keep-alive connections pooled per backend")
 	maxActive := flag.Int("max-active", 0, "concurrent exchanges per backend (0: unbounded)")
 	stats := flag.Bool("stats", false, "serve GET /spi/stats")
+	coalesce := flag.Bool("coalesce", false, "merge concurrent single calls into packed batches")
+	flushWindow := flag.Duration("flush-window", time.Millisecond, "coalescer batch formation window (with -coalesce)")
+	maxBatch := flag.Int("max-batch", 64, "coalescer flushes a batch at this many members (with -coalesce)")
+	maxBytes := flag.Int("max-bytes", 256<<10, "coalescer flushes a batch at this many request-body bytes (with -coalesce)")
 	flag.Parse()
 
 	if *backendList == "" {
@@ -96,6 +109,12 @@ func main() {
 		MaxIdlePerBackend:   *maxIdle,
 		MaxActivePerBackend: *maxActive,
 		DebugEndpoints:      *stats,
+		Coalesce: gateway.CoalesceConfig{
+			Enabled:     *coalesce,
+			FlushWindow: *flushWindow,
+			MaxBatch:    *maxBatch,
+			MaxBytes:    *maxBytes,
+		},
 	})
 	if err != nil {
 		fatal(err)
@@ -109,6 +128,10 @@ func main() {
 		listener.Addr(), gateway.ParsePolicy(*policy), len(backends))
 	for _, b := range backends {
 		fmt.Printf("  %s\n", b.Name)
+	}
+	if *coalesce {
+		fmt.Printf("spigateway: coalescing singles (window %v, max %d entries / %d bytes)\n",
+			*flushWindow, *maxBatch, *maxBytes)
 	}
 
 	done := make(chan error, 1)
@@ -131,6 +154,10 @@ func main() {
 		st := gw.Stats()
 		fmt.Printf("spigateway: %d envelopes (%d packed, %d proxied), %d sub-batches, %d failovers, %d degraded\n",
 			st.Envelopes, st.Packed, st.Proxied, st.Scattered, st.Failovers, st.Degraded)
+		if *coalesce {
+			fmt.Printf("spigateway: %d singles coalesced into %d batches (%d passed through)\n",
+				st.Coalesced, st.CoalesceBatches, st.CoalescePassthrough)
+		}
 		for _, bs := range st.Backends {
 			fmt.Printf("  %-24s exchanges=%d failures=%d ejections=%d failovers=%d\n",
 				bs.Name, bs.Exchanges, bs.Failures, bs.Ejections, bs.Failovers)

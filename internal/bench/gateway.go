@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/registry"
 	"repro/internal/services"
+	"repro/internal/soapenc"
 )
 
 // GatewayEnv is a scale-out deployment: K backend SPI servers behind one
@@ -39,6 +41,13 @@ type GatewayOptions struct {
 	WorkTime time.Duration
 	// Policy selects the sharding strategy (default round-robin).
 	Policy gateway.Policy
+	// MaxActivePerBackend bounds concurrent gateway→backend exchanges
+	// (zero: unbounded), the protective cap any production front tier
+	// places on its backends.
+	MaxActivePerBackend int
+	// Coalesce configures cross-client coalescing of single calls at the
+	// gateway (zero: off).
+	Coalesce gateway.CoalesceConfig
 }
 
 // NewGatewayEnv builds and starts the farm.
@@ -92,9 +101,11 @@ func NewGatewayEnv(opt GatewayOptions) (*GatewayEnv, error) {
 	}
 
 	gw, err := gateway.New(gateway.Config{
-		Backends: backends,
-		Policy:   opt.Policy,
-		Registry: registryContainer,
+		Backends:            backends,
+		Policy:              opt.Policy,
+		Registry:            registryContainer,
+		MaxActivePerBackend: opt.MaxActivePerBackend,
+		Coalesce:            opt.Coalesce,
 	})
 	if err != nil {
 		return fail(err)
@@ -116,6 +127,15 @@ func NewGatewayEnv(opt GatewayOptions) (*GatewayEnv, error) {
 	return env, nil
 }
 
+// NewClient dials a fresh client connection to the gateway — one per
+// simulated end user in the many-small-clients experiments, so each has
+// its own TCP connection like independent processes would.
+func (e *GatewayEnv) NewClient() (*core.Client, error) {
+	return core.NewClient(core.ClientConfig{
+		Dial: e.gwLink.Dial, KeepAlive: true, Timeout: 120 * time.Second,
+	})
+}
+
 // Close tears the farm down.
 func (e *GatewayEnv) Close() {
 	if e.Client != nil {
@@ -133,6 +153,126 @@ func (e *GatewayEnv) Close() {
 	for _, l := range e.links {
 		l.Close()
 	}
+}
+
+// RunCoalesce measures the many-small-clients regime the coalescer is
+// built for: a fleet of independent clients, each issuing plain serial
+// single calls (no pack interface anywhere on the client side), against
+// the same farm with cross-client coalescing off and on. The gateway
+// caps concurrent exchanges per backend — the protective bound any real
+// front tier applies — so without coalescing the concurrent singles
+// queue for exchange slots in waves, each paying its own connection,
+// HTTP framing and envelope overhead. With coalescing the same calls
+// merge into a few packed batches that fit comfortably under the cap,
+// amortizing the per-message costs — so the burst completes sooner even
+// though every individual call briefly parks in the flush window.
+func RunCoalesce(reps int) (*AblationResult, error) {
+	if reps <= 0 {
+		reps = 5
+	}
+	const clients = 64
+	const callsPerClient = 4
+	const work = 500 * time.Microsecond
+	const workers = 16
+	const maxActive = 8
+	const window = 300 * time.Microsecond
+	payload := strings.Repeat("a", 64)
+
+	result := &AblationResult{Title: fmt.Sprintf(
+		"Gateway coalescing: %d single-call clients × %d serial calls, %v ops, 2 backends, %d exchange slots per backend",
+		clients, callsPerClient, work, maxActive)}
+
+	for _, coalesce := range []bool{false, true} {
+		env, err := NewGatewayEnv(GatewayOptions{
+			Backends: 2, AppWorkers: workers, WorkTime: work,
+			MaxActivePerBackend: maxActive,
+			Coalesce: gateway.CoalesceConfig{
+				Enabled:     coalesce,
+				FlushWindow: window,
+				MaxBatch:    16,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Each simulated end user gets its own access link to the gateway —
+		// independent client machines don't share a NIC — so the contended
+		// resource is the gateway→backend hop, the one coalescing thins out.
+		fleet := make([]*core.Client, clients)
+		fleetLinks := make([]*netsim.Link, clients)
+		closeFleet := func() {
+			for _, c := range fleet {
+				if c != nil {
+					c.Close()
+				}
+			}
+			for _, l := range fleetLinks {
+				if l != nil {
+					l.Close()
+				}
+			}
+		}
+		for i := range fleet {
+			link := netsim.NewLink(netsim.LAN100())
+			fleetLinks[i] = link
+			lis, err := link.Listen()
+			if err == nil {
+				go env.Gateway.Serve(lis)
+				fleet[i], err = core.NewClient(core.ClientConfig{
+					Dial: link.Dial, KeepAlive: true, Timeout: 120 * time.Second,
+				})
+			}
+			if err != nil {
+				closeFleet()
+				env.Close()
+				return nil, err
+			}
+		}
+		ms, err := measure(1, reps, func() error {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for i := range fleet {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 0; j < callsPerClient; j++ {
+						if _, err := fleet[i].Call("Echo", "echo", soapenc.F("data", payload)); err != nil {
+							errs[i] = err
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			for _, e := range errs {
+				if e != nil {
+					return e
+				}
+			}
+			return nil
+		})
+		st := env.Gateway.Stats()
+		closeFleet()
+		env.Close()
+		if err != nil {
+			return nil, err
+		}
+		name := "coalescing off (every single proxied whole)"
+		note := fmt.Sprintf("%d backend exchanges", st.Proxied)
+		if coalesce {
+			name = fmt.Sprintf("coalescing on (%v flush window)", window)
+			mean := 0.0
+			if st.CoalesceBatches > 0 {
+				mean = float64(st.Coalesced) / float64(st.CoalesceBatches)
+			}
+			note = fmt.Sprintf("%d calls pooled into %d batches (mean size %.1f)",
+				st.Coalesced, st.CoalesceBatches, mean)
+		}
+		calls := float64(clients * callsPerClient)
+		note += fmt.Sprintf("; %.0f calls/s", calls/(ms/1000))
+		result.Rows = append(result.Rows, AblationRow{Name: name, Millis: ms, Note: note})
+	}
+	return result, nil
 }
 
 // RunGatewayScaling measures one packed batch against a saturated farm as

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"strconv"
+
+	"repro/internal/httpx"
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/xmldom"
+)
+
+// Cross-client coalescing support for the gateway: the pieces that turn a
+// plain single-call envelope into a shardable ScatterEntry and, after the
+// synthetic batch comes back, splice its packed-response segment into the
+// HTTP response a direct server would have produced for the original call.
+//
+// The same byte-identity argument as the scatter path applies (see the
+// comment atop gateway.go in this package): the segment bytes are never
+// re-serialized. A packed-response entry differs from the direct server's
+// single-response body entry in exactly one way — the trailing
+// spi:id="N" attribute on its root start tag (both the DOM assembler and
+// the streaming encoder emit xmlns:m first, then spi:id) — so removing
+// that attribute and re-framing the segment in a fresh envelope reproduces
+// the direct response byte for byte. Per-item faults are the one place a
+// re-encode is unavoidable: packed responses carry them in the SOAP 1.1
+// per-item layout while a direct server answers with a whole-message
+// HTTP 500 fault in the request's version, so the fault is decoded from
+// the segment and re-rendered through the same GatewayFaultResponse the
+// scatter path uses (which serializes exactly like the server's own
+// faultResponse).
+
+// SingleCall is one coalescible single-request envelope, parsed for
+// merging into a synthetic Parallel_Method batch.
+type SingleCall struct {
+	// Version is the request's envelope version; the coalesced batch and
+	// the spliced response both use it.
+	Version soap.Version
+	// Entry is the request element prepared for sharding. Its ID and
+	// spi:id/spi:service annotations are assigned at flush time via
+	// SealID, once the entry's position in its batch is known.
+	Entry *ScatterEntry
+}
+
+// ParseSingleCall decodes a non-packed POST body into a coalescible entry.
+// reg, when non-nil, resolves entries on the bare pack endpoint by
+// namespace, the way a direct server's dispatchSingle does.
+//
+// A nil return means the call must NOT be coalesced: the envelope is
+// malformed, carries header blocks (header processing and response-header
+// attribution are per-envelope), is a packed or plan body, or its request
+// element does not decode. All of those fall back to the byte-transparent
+// proxy path, which trivially preserves whatever the direct server would
+// answer.
+func ParseSingleCall(body []byte, defaultService string, reg *registry.Container) *SingleCall {
+	arena := xmldom.AcquireArena()
+	defer xmldom.ReleaseArena(arena)
+	env, err := soap.DecodeArenaBytes(body, arena)
+	if err != nil || len(env.Header) > 0 || len(env.Body) != 1 {
+		return nil
+	}
+	entry := env.Body[0]
+	if isPackedRequest(entry) || isPackedResponse(entry) || isPlanBody(entry) {
+		return nil
+	}
+	service := defaultService
+	if service == "" && reg != nil {
+		if svc, ok := reg.ServiceByNamespace(entry.Namespace()); ok {
+			service = svc.Name
+		}
+	}
+	req, fault := decodeRequestElement(entry, service, 0)
+	if fault != nil {
+		return nil
+	}
+	// Clone detaches the element from the arena and pulls inherited
+	// namespace declarations down, so it serializes standalone inside the
+	// synthetic batch.
+	return &SingleCall{
+		Version: env.Version,
+		Entry:   &ScatterEntry{Service: req.service, Op: req.op, Element: entry.Clone()},
+	}
+}
+
+// SealID assigns a coalesced entry's slot and correlation id once its
+// batch is sealed, annotating the element exactly as ParseScatterRequest
+// does for explicitly packed entries (spi:id first, then spi:service).
+func (e *ScatterEntry) SealID(id int) {
+	e.Slot = id
+	e.ID = id
+	e.Element.SetAttr(attrID, strconv.Itoa(id))
+	e.Element.SetAttr(attrService, e.Service)
+}
+
+// entryIDAttr is the serialized spi:id attribute prefix inside a start
+// tag. The emitter always double-quotes attribute values.
+var entryIDAttr = []byte(` ` + PrefixPack + `:id="`)
+
+// entryFaultOpen is the start of a per-item fault segment (after its
+// spi:id attribute has been stripped).
+var entryFaultOpen = []byte(`<` + soap.PrefixEnvelope + `:Fault`)
+
+// StripEntryID returns the segment with the spi:id attribute removed from
+// its root start tag, which is the only byte-level difference between a
+// packed-response entry and the direct server's single-response body
+// entry. Segments come from the server's own emitter (attribute values
+// double-quoted, namespace URIs attribute-safe), so a plain byte scan
+// bounded by the root tag is exact. A segment with no spi:id is returned
+// unchanged.
+func StripEntryID(segment []byte) []byte {
+	gt, _, _, err := scanTag(segment, 0)
+	if err != nil {
+		return segment
+	}
+	i := bytes.Index(segment[:gt], entryIDAttr)
+	if i < 0 {
+		return segment
+	}
+	rest := segment[i+len(entryIDAttr) : gt]
+	q := bytes.IndexByte(rest, '"')
+	if q < 0 {
+		return segment
+	}
+	end := i + len(entryIDAttr) + q + 1
+	out := make([]byte, 0, len(segment)-(end-i))
+	out = append(out, segment[:i]...)
+	out = append(out, segment[end:]...)
+	return out
+}
+
+// IsEntryFault reports whether a stripped segment is a per-item fault
+// entry rather than an operation response.
+func IsEntryFault(segment []byte) bool {
+	if !bytes.HasPrefix(segment, entryFaultOpen) {
+		return false
+	}
+	if len(segment) == len(entryFaultOpen) {
+		return false
+	}
+	c := segment[len(entryFaultOpen)]
+	return c == '>' || c == ' ' || c == '/'
+}
+
+// DecodeEntryFault decodes a per-item fault segment by re-homing it in a
+// synthetic envelope that binds the SOAP-ENV prefix. Per-item faults
+// always use the SOAP 1.1 layout regardless of the batch's envelope
+// version, so the synthetic envelope is SOAP 1.1. Nil when the segment
+// does not parse as a fault.
+func DecodeEntryFault(segment []byte) *soap.Fault {
+	var buf bytes.Buffer
+	buf.Grow(len(segment) + 128)
+	buf.WriteString(`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + soap.NSEnvelope + `"><SOAP-ENV:Body>`)
+	buf.Write(segment)
+	buf.WriteString(`</SOAP-ENV:Body></SOAP-ENV:Envelope>`)
+	env, err := soap.Decode(&buf)
+	if err != nil {
+		return nil
+	}
+	return detachFault(env.Fault())
+}
+
+// SpliceSingleResponse turns one packed-response segment back into the
+// HTTP response a direct server would have produced for the same single
+// call. Operation responses become a 200 envelope framed around the raw
+// segment bytes (rawHeader, usually nil, splices the backend's response
+// header section in, as the scatter path does). Per-item fault segments
+// become the whole-message HTTP 500 fault in the request's version —
+// rendered through the same encoder as the server's own faultResponse, so
+// the bytes match a direct server faulting the same call. The second
+// return value reports that fault case.
+func SpliceSingleResponse(v soap.Version, segment, rawHeader []byte) (*httpx.Response, bool) {
+	seg := StripEntryID(segment)
+	if IsEntryFault(seg) {
+		f := DecodeEntryFault(seg)
+		if f == nil {
+			f = soap.ServerFault("gateway: undecodable fault entry from backend")
+		}
+		return GatewayFaultResponse(f, v), true
+	}
+	enc := soap.NewStreamEncoder()
+	enc.BeginRawHeader(v, rawHeader)
+	enc.Emitter().Raw(seg)
+	body, err := enc.Finish()
+	if err != nil {
+		enc.Release()
+		return encodeFailureResponse(), true
+	}
+	resp := httpx.NewResponse(200, body)
+	resp.Header.Set("Content-Type", v.ContentType())
+	resp.SetRelease(enc.Release)
+	return resp, false
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/xmltext"
+)
+
+func singleDoc(v soap.Version, entry string) []byte {
+	env := "http://schemas.xmlsoap.org/soap/envelope/"
+	if v == soap.V12 {
+		env = soap.NSEnvelope12
+	}
+	return []byte(`<?xml version="1.0" encoding="UTF-8"?>` +
+		`<SOAP-ENV:Envelope xmlns:SOAP-ENV="` + env + `" xmlns:spi="` + NSPack + `">` +
+		`<SOAP-ENV:Body>` + entry + `</SOAP-ENV:Body></SOAP-ENV:Envelope>`)
+}
+
+func TestParseSingleCall(t *testing.T) {
+	reg := registry.NewContainer()
+	reg.MustAddService("Echo", "urn:spi:Echo", "echo")
+
+	for _, v := range []soap.Version{soap.V11, soap.V12} {
+		doc := singleDoc(v, `<m:echo xmlns:m="urn:spi:Echo"><data>hi</data></m:echo>`)
+		sc := ParseSingleCall(doc, "Echo", nil)
+		if sc == nil {
+			t.Fatalf("%v: coalescible call rejected", v)
+		}
+		if sc.Version != v || sc.Entry.Service != "Echo" || sc.Entry.Op != "echo" {
+			t.Fatalf("%v: parsed %q.%q version %v", v, sc.Entry.Service, sc.Entry.Op, sc.Version)
+		}
+	}
+
+	// Bare pack endpoint: the service resolves by namespace via the registry.
+	doc := singleDoc(soap.V11, `<m:echo xmlns:m="urn:spi:Echo"><data>hi</data></m:echo>`)
+	sc := ParseSingleCall(doc, "", reg)
+	if sc == nil || sc.Entry.Service != "Echo" {
+		t.Fatalf("namespace resolution failed: %+v", sc)
+	}
+
+	rejected := []struct {
+		name string
+		body []byte
+	}{
+		{"malformed", []byte(`<not-xml`)},
+		{"header blocks", []byte(`<?xml version="1.0" encoding="UTF-8"?>` +
+			`<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/">` +
+			`<SOAP-ENV:Header><h xmlns="urn:h">x</h></SOAP-ENV:Header>` +
+			`<SOAP-ENV:Body><m:echo xmlns:m="urn:spi:Echo"/></SOAP-ENV:Body></SOAP-ENV:Envelope>`)},
+		{"packed body", singleDoc(soap.V11,
+			`<spi:Parallel_Method><m:echo xmlns:m="urn:spi:Echo"/></spi:Parallel_Method>`)},
+		{"no service", singleDoc(soap.V11, `<m:echo xmlns:m="urn:unknown"/>`)},
+		{"bad spi id", singleDoc(soap.V11, `<m:echo xmlns:m="urn:spi:Echo" spi:id="x"/>`)},
+	}
+	for _, tc := range rejected {
+		if got := ParseSingleCall(tc.body, "", reg); got != nil {
+			t.Errorf("%s: expected nil, got %+v", tc.name, got)
+		}
+	}
+}
+
+func TestSealIDMatchesScatterAnnotation(t *testing.T) {
+	doc := singleDoc(soap.V11, `<m:echo xmlns:m="urn:spi:Echo" spi:service="Echo"><data>v</data></m:echo>`)
+	sc := ParseSingleCall(doc, "", nil)
+	if sc == nil {
+		t.Fatal("parse failed")
+	}
+	sc.Entry.SealID(7)
+	if sc.Entry.ID != 7 || sc.Entry.Slot != 7 {
+		t.Fatalf("SealID set ID=%d Slot=%d", sc.Entry.ID, sc.Entry.Slot)
+	}
+
+	// The sealed entry must build a sub-batch that round-trips through
+	// ParseScatterRequest with the same id, service and operation — i.e. a
+	// backend sees exactly what an explicitly packed client would send.
+	// (Attribute order inside the request element may differ from a
+	// scatter-parsed entry; backends decode attributes by name.)
+	doc2, err := BuildSubBatch(soap.V11, nil, []*ScatterEntry{sc.Entry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, fault := ParseScatterRequest(doc2, "")
+	if fault != nil || !sr.Packed || len(sr.Entries) != 1 {
+		t.Fatalf("scatter re-parse: fault=%v", fault)
+	}
+	e := sr.Entries[0]
+	if e.Fault != nil || e.ID != 7 || e.Service != "Echo" || e.Op != "echo" {
+		t.Fatalf("re-parsed entry: %+v (fault %v)", e, e.Fault)
+	}
+}
+
+func TestStripEntryID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`<m:echoResponse xmlns:m="urn:x" spi:id="3"><data>v</data></m:echoResponse>`,
+			`<m:echoResponse xmlns:m="urn:x"><data>v</data></m:echoResponse>`},
+		{`<SOAP-ENV:Fault spi:id="12"><faultcode>SOAP-ENV:Server</faultcode></SOAP-ENV:Fault>`,
+			`<SOAP-ENV:Fault><faultcode>SOAP-ENV:Server</faultcode></SOAP-ENV:Fault>`},
+		// No spi:id: unchanged.
+		{`<m:r xmlns:m="urn:x"><a>1</a></m:r>`, `<m:r xmlns:m="urn:x"><a>1</a></m:r>`},
+		// spi:id beyond the root tag is not touched.
+		{`<m:r xmlns:m="urn:x"><a spi:id="9">1</a></m:r>`, `<m:r xmlns:m="urn:x"><a spi:id="9">1</a></m:r>`},
+	}
+	for _, tc := range cases {
+		if got := string(StripEntryID([]byte(tc.in))); got != tc.want {
+			t.Errorf("StripEntryID(%s)\n got %s\nwant %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIsEntryFault(t *testing.T) {
+	if !IsEntryFault([]byte(`<SOAP-ENV:Fault><faultcode>SOAP-ENV:Server</faultcode></SOAP-ENV:Fault>`)) {
+		t.Error("fault segment not recognized")
+	}
+	if IsEntryFault([]byte(`<SOAP-ENV:Faulty xmlns:m="urn:x"/>`)) {
+		t.Error("prefix-similar element misclassified as fault")
+	}
+	if IsEntryFault([]byte(`<m:echoResponse xmlns:m="urn:x"></m:echoResponse>`)) {
+		t.Error("response segment misclassified as fault")
+	}
+}
+
+// TestSpliceSingleResponseParity pins the splice against the server's own
+// encoders: an op segment re-frames to the exact bytes envelopeResponse
+// produces for the same element, and a fault segment re-renders to the
+// exact whole-message fault bytes, in both envelope versions.
+func TestSpliceSingleResponseParity(t *testing.T) {
+	for _, v := range []soap.Version{soap.V11, soap.V12} {
+		t.Run(fmt.Sprint(v), func(t *testing.T) {
+			// Success: what a backend's packed response carries for slot 3...
+			respEl, err := encodeResponseElement("urn:spi:Echo", "echo", []soapenc.Field{soapenc.F("data", "v")})
+			if err != nil {
+				t.Fatal(err)
+			}
+			segEnc := soap.NewStreamEncoder()
+			em := segEnc.Emitter()
+			respEl.AppendTo(em)
+			if err := em.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			plain := append([]byte(nil), em.Bytes()...)
+			segEnc.Release()
+			seg := bytes.Replace(plain, []byte(` xmlns:m="urn:spi:Echo"`),
+				[]byte(` xmlns:m="urn:spi:Echo" spi:id="3"`), 1)
+
+			// ...must splice to what the direct server would answer.
+			wantEnc := soap.NewStreamEncoder()
+			wantEnc.Begin(v, nil)
+			wantEnc.Emitter().Raw(plain)
+			want, err := wantEnc.Finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, isFault := SpliceSingleResponse(v, seg, nil)
+			if isFault || resp.StatusCode != 200 {
+				t.Fatalf("splice: fault=%v status=%d", isFault, resp.StatusCode)
+			}
+			if !bytes.Equal(resp.Body, want) {
+				t.Errorf("success splice diverged\n got %s\nwant %s", resp.Body, want)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != v.ContentType() {
+				t.Errorf("content type %q", ct)
+			}
+			resp.Release()
+			wantEnc.Release()
+
+			// Fault: the per-item SOAP 1.1 fault entry for slot 5 must
+			// splice to the direct server's whole-message HTTP 500 fault.
+			f := &soap.Fault{Code: FaultCodeTimeout, String: "deadline expired before Echo.echo finished"}
+			fEnc := soap.NewStreamEncoder()
+			fem := fEnc.Emitter()
+			f.AppendElementFor(fem, soap.V11, xmltext.Attr{Name: attrID, Value: "5"})
+			if err := fem.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			fseg := append([]byte(nil), fem.Bytes()...)
+			fEnc.Release()
+
+			wantFault := GatewayFaultResponse(f, v)
+			resp, isFault = SpliceSingleResponse(v, fseg, nil)
+			if !isFault || resp.StatusCode != 500 {
+				t.Fatalf("fault splice: fault=%v status=%d", isFault, resp.StatusCode)
+			}
+			if !bytes.Equal(resp.Body, wantFault.Body) {
+				t.Errorf("fault splice diverged\n got %s\nwant %s", resp.Body, wantFault.Body)
+			}
+			resp.Release()
+			wantFault.Release()
+		})
+	}
+}

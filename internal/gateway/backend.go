@@ -7,6 +7,18 @@
 // application-aware twist that makes the intermediary useful: because the
 // gateway understands the pack format, it splits work entry by entry
 // instead of forwarding opaque blobs.
+//
+// The same awareness also runs in the opposite direction: with
+// Config.Coalesce enabled, concurrent single-call envelopes from clients
+// that never adopted the pack interface are merged into synthetic packed
+// batches (see CoalesceConfig), dispatched through the identical
+// scatter/failover machinery, and split back into per-client responses
+// that are byte-identical to the uncoalesced path. Packing then becomes an
+// infrastructure optimization instead of a client-side API choice.
+//
+// Construction is one call — New(Config{...}) — followed by Serve on a
+// listener; see the package examples. docs/GATEWAY.md covers deployment,
+// routing policies, failover semantics, and coalescer tuning.
 package gateway
 
 import (

@@ -34,6 +34,12 @@ type Config struct {
 	// definitions with their backends.
 	Registry *registry.Container
 
+	// Coalesce, when enabled, merges concurrent single-call envelopes
+	// into synthetic packed batches before scattering them — packing as
+	// an infrastructure optimization for clients that never opt in. See
+	// CoalesceConfig.
+	Coalesce CoalesceConfig
+
 	// Retry governs sub-batch failover between backends: a failed
 	// sub-batch is re-sent to another available backend when the failure
 	// class allows it (connect failures and Server.Busy always; other
@@ -94,6 +100,12 @@ type Gateway struct {
 	failovers  metrics.Counter // sub-batches re-sent to another backend
 	degraded   metrics.Counter // slots degraded at the deadline
 
+	coalescer           *coalescer
+	coalesced           metrics.Counter // single calls merged into batches
+	coalesceBatches     metrics.Counter // synthetic batches flushed
+	coalescePassthrough metrics.Counter // single calls that bypassed coalescing
+	coalesceSizes       [len(batchSizeBuckets)]metrics.Counter
+
 	probeStop chan struct{}
 	probeWG   sync.WaitGroup
 }
@@ -146,6 +158,9 @@ func New(cfg Config) (*Gateway, error) {
 		Handler:      g.Handle,
 		MaxBodyBytes: cfg.MaxBodyBytes,
 	}
+	if cfg.Coalesce.Enabled {
+		g.coalescer = newCoalescer(g, cfg.Coalesce)
+	}
 	if cfg.ProbeInterval > 0 {
 		g.probeStop = make(chan struct{})
 		g.probeWG.Add(1)
@@ -179,6 +194,12 @@ func (g *Gateway) stop() {
 		close(g.probeStop)
 		g.probeWG.Wait()
 		g.probeStop = nil
+	}
+	// The coalescer closes before the backend pools so forming batches
+	// still have clients to flush through (their exchanges fail fast under
+	// the coalescer's cancelled base context).
+	if g.coalescer != nil {
+		g.coalescer.close()
 	}
 	for _, b := range g.backends {
 		b.client.Close()
@@ -234,6 +255,17 @@ type Stats struct {
 	Failovers int64
 	Degraded  int64
 
+	// Coalesced counts single calls merged into synthetic batches;
+	// CoalescePassthrough counts single calls that bypassed coalescing
+	// (tight deadline, non-coalescible envelope, shutdown) and were
+	// proxied whole instead. CoalesceBatches counts flushed batches and
+	// CoalesceSizes is their size distribution in power-of-two buckets
+	// ("1", "2", "3-4", ..., ">64"); zero buckets are omitted.
+	Coalesced           int64
+	CoalesceBatches     int64
+	CoalescePassthrough int64
+	CoalesceSizes       map[string]int64 `json:",omitempty"`
+
 	Backends []BackendStats
 }
 
@@ -250,6 +282,18 @@ func (g *Gateway) Stats() Stats {
 		Scattered:  g.scattered.Load(),
 		Failovers:  g.failovers.Load(),
 		Degraded:   g.degraded.Load(),
+
+		Coalesced:           g.coalesced.Load(),
+		CoalesceBatches:     g.coalesceBatches.Load(),
+		CoalescePassthrough: g.coalescePassthrough.Load(),
+	}
+	for i := range g.coalesceSizes {
+		if n := g.coalesceSizes[i].Load(); n > 0 {
+			if st.CoalesceSizes == nil {
+				st.CoalesceSizes = make(map[string]int64)
+			}
+			st.CoalesceSizes[batchSizeBuckets[i]] = n
+		}
 	}
 	for _, b := range g.backends {
 		st.Backends = append(st.Backends, b.stats(now))

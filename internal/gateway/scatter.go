@@ -62,6 +62,12 @@ func (g *Gateway) Handle(ctx context.Context, req *httpx.Request) *httpx.Respons
 	}
 	g.envelopes.Inc()
 	if !sr.Packed {
+		// Single call: try to merge it into a forming cross-client batch.
+		// A nil return means it was not coalescible (or coalescing is off)
+		// and falls through to the byte-transparent proxy path.
+		if resp := g.coalesce(ctx, req, defaultService); resp != nil {
+			return resp
+		}
 		g.proxied.Inc()
 		return g.proxy(ctx, req)
 	}
@@ -212,12 +218,29 @@ func (g *Gateway) allIdempotent(shard []*core.ScatterEntry) bool {
 	return true
 }
 
+// resultSink receives one shard's slot outcomes. The scatter path plugs in
+// a *core.GatherCollector (reassembly into one packed response); the
+// coalescer plugs in a coalesceSink (delivery straight to parked single
+// calls). Sinks must tolerate late or duplicate writes to a slot
+// (first write wins).
+type resultSink interface {
+	// AddHeader records the raw response-header section from the backend
+	// that answered, keyed by backend index. Called before the shard's
+	// Deliver calls.
+	AddHeader(backend int, raw []byte)
+	// Deliver hands a slot its raw packed-response segment.
+	Deliver(slot int, segment []byte)
+	// Fail resolves a slot with a per-item fault.
+	Fail(slot int, f *soap.Fault)
+}
+
 // sendShard delivers one sub-batch: build once, exchange, and on an
 // eligible failure fail over to another available backend under the retry
 // policy. Exhausted or ineligible failures degrade the shard's slots to
 // per-item faults; slots already degraded by the deadline ignore late
-// deliveries (first write wins).
-func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterRequest, shard []*core.ScatterEntry, col *core.GatherCollector) {
+// deliveries (first write wins). Every slot is resolved — Deliver or
+// Fail — before sendShard returns.
+func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterRequest, shard []*core.ScatterEntry, col resultSink) {
 	doc, err := core.BuildSubBatch(sr.Version, sr.Headers, shard)
 	if err != nil {
 		f := soap.ServerFault("building sub-batch: %v", err)

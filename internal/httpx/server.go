@@ -26,6 +26,13 @@ import (
 // observed without stealing bytes from the next request, so there ctx only
 // reflects server shutdown.
 //
+// Because each in-flight exchange owns its connection's goroutine, a
+// handler may also park — block awaiting an event produced by a different
+// connection's exchange — without stalling any read loop; there is none
+// shared between connections. The gateway's cross-client coalescer relies
+// on this: single calls park in a forming batch while companion calls
+// arrive on other connections' goroutines.
+//
 // req.Body is served from a recycled buffer pool: a handler (and any
 // AccessLog observer) must not retain req.Body or sub-slices of it past
 // its return — copy out anything that must survive the exchange.

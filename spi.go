@@ -66,11 +66,13 @@
 //	internal/stage     staged worker pools (SEDA)
 //	internal/registry  service/operation container
 //	internal/core      SPI: assembler, dispatcher, batch, auto-batch
+//	internal/gateway   scatter–gather front tier with cross-client coalescing
 //	internal/wsse      WS-Security-style signed headers
 //	internal/wsdl      WSDL 1.1 descriptions
 //	internal/bench     the paper's experiments (Figures 5-7, §4.3)
 //
-// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// See docs/ARCHITECTURE.md for the layer map and request lifecycles,
+// DESIGN.md for the full system inventory, and EXPERIMENTS.md for the
 // paper-versus-measured record.
 package spi
 
@@ -282,15 +284,23 @@ type (
 // (capacity <= 0 selects a default).
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
 
-// Stage names recorded along the request path, in path order.
+// Stage names recorded along the request path, in path order. The gateway
+// stages appear only on deployments fronted by the scatter–gather tier
+// (cmd/spigateway); the coalesce stages additionally require cross-client
+// coalescing to be enabled there.
 const (
-	StageClientPack   = trace.StageClientPack
-	StageClientSend   = trace.StageClientSend
-	StageProtocol     = trace.StageProtocol
-	StageDispatch     = trace.StageDispatch
-	StageApp          = trace.StageApp
-	StageAssemble     = trace.StageAssemble
-	StageClientUnpack = trace.StageClientUnpack
+	StageClientPack           = trace.StageClientPack
+	StageClientSend           = trace.StageClientSend
+	StageGatewayCoalesceWait  = trace.StageGatewayCoalesceWait
+	StageGatewayCoalesceFlush = trace.StageGatewayCoalesceFlush
+	StageGatewayScatter       = trace.StageGatewayScatter
+	StageGatewayBackend       = trace.StageGatewayBackend
+	StageGatewayGather        = trace.StageGatewayGather
+	StageProtocol             = trace.StageProtocol
+	StageDispatch             = trace.StageDispatch
+	StageApp                  = trace.StageApp
+	StageAssemble             = trace.StageAssemble
+	StageClientUnpack         = trace.StageClientUnpack
 )
 
 // HeaderTrace is the HTTP header carrying the client's trace id so server
