@@ -3,18 +3,20 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools race-gateway bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
+.PHONY: check build vet test race race-pools race-gateway race-controlplane bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
 
 ## check: the full gate — build, vet, race-enabled shuffled tests,
 ## pool-lifecycle tests under -race, the gateway differential/chaos suite
-## under -race, the encode-path escape audit, the docs link audit, and the
-## perf-regression gate vs the baseline chain.
+## under -race, the cluster control-plane tier under -race, the encode-path
+## escape audit, the docs link audit, and the perf-regression gate vs the
+## baseline chain.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
 	$(MAKE) race-pools
 	$(MAKE) race-gateway
+	$(MAKE) race-controlplane
 	$(MAKE) vet-escapes
 	$(MAKE) docs-check
 	$(MAKE) bench-gate
@@ -48,6 +50,15 @@ race-gateway:
 	$(GO) test -race -count=2 -run='Differential|Chaos|Failover|Ejection|Probe' \
 		./internal/gateway
 
+## race-controlplane: the cluster control-plane tier under the race
+## detector — admin service routing state, membership polling, weighted
+## convergence, drain-under-load loss/duplication, membership churn soak.
+race-controlplane:
+	$(GO) test -race -count=2 \
+		-run='TestGatewayAdmin|TestMembership|TestWeightedConvergence|TestDrainUnderLoad|TestDrainReleases|TestDifferentialWeighted|TestAdminBypassesAppStage' \
+		./internal/gateway ./internal/core
+	$(GO) test -race -run='TestSoakMembershipChurn' .
+
 ## bench: the paper's experiments as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -62,8 +73,9 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenizer$$' -fuzztime=10s ./internal/xmltext
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
 	$(GO) test -run='^$$' -fuzz='^FuzzReadResponse$$' -fuzztime=10s ./internal/httpx
+	$(GO) test -run='^$$' -fuzz='^FuzzParseStats$$' -fuzztime=10s ./internal/admin
 
-## bench-check: snapshot the key benchmarks to BENCH_pr6.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr7.json (perf guard).
 bench-check:
 	$(GO) run ./cmd/benchcheck
 
@@ -74,7 +86,7 @@ bench-check:
 ## step-function regressions.
 bench-gate:
 	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
-		-baseline BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+		-baseline BENCH_pr6.json,BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
 
 ## docs-check: fail on broken relative links in README.md and docs/*.md.
 docs-check:

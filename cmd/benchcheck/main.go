@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr6.json
+//	benchcheck                 # writes BENCH_pr7.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
 //	benchcheck -baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 10
@@ -79,7 +79,7 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	baseline := flag.String("baseline", "", "comma-separated baseline chain to compare against, first file wins per benchmark (empty disables)")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
@@ -227,6 +227,57 @@ func main() {
 	}
 	gatewayE2E("e2e/gw-packed-16-1-backend", 1)
 	gatewayE2E("e2e/gw-packed-16-4-backends", 4)
+
+	// --- control plane: weighted routing on a skewed fleet ------------
+	// Four backends, one at 4× the per-op service time, with the admin
+	// membership poller feeding the weighted policy. Guards the whole
+	// control-plane loop end to end: poll → derate → shard placement.
+	{
+		env, err := bench.NewGatewayEnv(bench.GatewayOptions{
+			Backends: 4, Network: netsim.Fast(), AppWorkers: 4,
+			WorkTimes: []time.Duration{
+				200 * time.Microsecond, 200 * time.Microsecond,
+				200 * time.Microsecond, 800 * time.Microsecond,
+			},
+			Policy:       gateway.Weighted,
+			AdminService: true,
+			Membership: gateway.MembershipConfig{
+				Enabled:      true,
+				PollInterval: 10 * time.Millisecond,
+				MinFactor:    0.05,
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		// Give the poller a few rounds to observe the skew before timing.
+		warm := func() {
+			batch := env.Client.NewBatch()
+			for j := 0; j < 16; j++ {
+				batch.Add("Echo", "echo", arg)
+			}
+			if err := batch.Send(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			warm()
+		}
+		add(measure("e2e/gw-weighted-skewed-4", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch := env.Client.NewBatch()
+				for j := 0; j < 16; j++ {
+					batch.Add("Echo", "echo", arg)
+				}
+				if err := batch.Send(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		env.Close()
+	}
 
 	// --- gateway cross-client coalescing ------------------------------
 	// 16 independent single-call clients fire concurrently per iteration;

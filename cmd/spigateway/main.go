@@ -7,7 +7,8 @@
 //
 //	spigateway -addr :8090 -backends host1:8080,host2:8080
 //	spigateway -addr :8090 -backends host1:8080,host2:8080 -policy least-loaded
-//	spigateway -addr :8090 -backends host1:8080 -probe 2s -stats
+//	spigateway -addr :8090 -backends host1:8080=4,host2:8080=1 -policy weighted -poll 250ms
+//	spigateway -addr :8090 -backends host1:8080 -probe 2s -stats -admin
 //	spigateway -addr :8090 -backends host1:8080,host2:8080 \
 //	    -coalesce -flush-window 1ms -max-batch 64 -max-bytes 262144
 //
@@ -17,6 +18,13 @@
 // -max-bytes of bodies accumulate, or when a member's SPI-Deadline is
 // tight), then split back so every client's reply is byte-identical to
 // the uncoalesced path.
+//
+// A backend may carry a routing weight after "=" (default 1), used by the
+// weighted policy. With -poll, the membership manager scrapes every
+// backend's Admin service on a jittered interval and modulates those
+// weights by observed load (see docs/CONTROL_PLANE.md); with -admin the
+// gateway self-hosts its own Admin service at /services/Admin so
+// exporters and upstream tiers can scrape the gateway like any server.
 //
 // Endpoints mirror the servers':
 //
@@ -33,6 +41,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -45,7 +54,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8090", "listen address")
 	backendList := flag.String("backends", "", "comma-separated backend addresses (required)")
-	policy := flag.String("policy", "round-robin", "sharding policy: round-robin, least-loaded, op-affinity")
+	policy := flag.String("policy", "round-robin", "sharding policy: round-robin, least-loaded, op-affinity, weighted")
 	threshold := flag.Int("eject-after", 3, "consecutive failures that eject a backend")
 	reprobe := flag.Duration("reprobe", 500*time.Millisecond, "how long an ejected backend sits out")
 	probe := flag.Duration("probe", 0, "active health-check period (0: passive only)")
@@ -57,6 +66,9 @@ func main() {
 	flushWindow := flag.Duration("flush-window", time.Millisecond, "coalescer batch formation window (with -coalesce)")
 	maxBatch := flag.Int("max-batch", 64, "coalescer flushes a batch at this many members (with -coalesce)")
 	maxBytes := flag.Int("max-bytes", 256<<10, "coalescer flushes a batch at this many request-body bytes (with -coalesce)")
+	poll := flag.Duration("poll", 0, "membership poll period for backend Admin services (0: disabled)")
+	adminFlag := flag.Bool("admin", false, "self-host the gateway's Admin service at /services/Admin")
+	adminWeight := flag.Int("admin-weight", 1, "gateway's initial advertised weight (with -admin)")
 	flag.Parse()
 
 	if *backendList == "" {
@@ -88,10 +100,20 @@ func main() {
 		if hostport == "" {
 			continue
 		}
+		weight := 1
+		if i := strings.LastIndexByte(hostport, '='); i >= 0 {
+			w, err := strconv.Atoi(hostport[i+1:])
+			if err != nil || w < 1 {
+				fatal(fmt.Errorf("backend %q: weight after '=' must be a positive integer", hostport))
+			}
+			weight = w
+			hostport = hostport[:i]
+		}
 		d := &net.Dialer{Timeout: 5 * time.Second}
 		target := hostport
 		backends = append(backends, gateway.BackendConfig{
-			Name: target,
+			Name:   target,
+			Weight: weight,
 			DialCtx: func(ctx context.Context) (net.Conn, error) {
 				return d.DialContext(ctx, "tcp", target)
 			},
@@ -109,6 +131,12 @@ func main() {
 		MaxIdlePerBackend:   *maxIdle,
 		MaxActivePerBackend: *maxActive,
 		DebugEndpoints:      *stats,
+		AdminService:        *adminFlag,
+		AdminWeight:         *adminWeight,
+		Membership: gateway.MembershipConfig{
+			Enabled:      *poll > 0,
+			PollInterval: *poll,
+		},
 		Coalesce: gateway.CoalesceConfig{
 			Enabled:     *coalesce,
 			FlushWindow: *flushWindow,
@@ -127,7 +155,13 @@ func main() {
 	fmt.Printf("spigateway: listening on %s, policy %s, %d backend(s):\n",
 		listener.Addr(), gateway.ParsePolicy(*policy), len(backends))
 	for _, b := range backends {
-		fmt.Printf("  %s\n", b.Name)
+		fmt.Printf("  %s (weight %d)\n", b.Name, b.Weight)
+	}
+	if *poll > 0 {
+		fmt.Printf("spigateway: polling backend Admin services every %v\n", *poll)
+	}
+	if *adminFlag {
+		fmt.Println("spigateway: Admin service at /services/Admin")
 	}
 	if *coalesce {
 		fmt.Printf("spigateway: coalescing singles (window %v, max %d entries / %d bytes)\n",

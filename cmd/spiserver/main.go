@@ -6,6 +6,7 @@
 //	spiserver -addr :8080
 //	spiserver -addr :8080 -app-workers 64 -work 2ms
 //	spiserver -addr :8080 -wss-user alice -wss-secret s3cret
+//	spiserver -addr :8080 -admin -weight 4
 //
 // Endpoints:
 //
@@ -37,6 +38,8 @@ func main() {
 	work := flag.Duration("work", 0, "simulated backend work per operation")
 	wssUser := flag.String("wss-user", "", "require WS-Security and accept this username")
 	wssSecret := flag.String("wss-secret", "", "shared secret for -wss-user")
+	admin := flag.Bool("admin", false, "self-host the Admin control-plane service (GetStats/SetState) at /services/Admin")
+	weight := flag.Int("weight", 1, "initial advertised routing weight (with -admin)")
 	flag.Parse()
 
 	container := registry.NewContainer()
@@ -52,9 +55,11 @@ func main() {
 	}
 
 	cfg := spi.ServerConfig{
-		Container:  container,
-		AppWorkers: *appWorkers,
-		Coupled:    *coupled,
+		Container:    container,
+		AppWorkers:   *appWorkers,
+		Coupled:      *coupled,
+		AdminService: *admin,
+		AdminWeight:  *weight,
 	}
 	if *wssUser != "" {
 		if *wssSecret == "" {

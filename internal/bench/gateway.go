@@ -39,8 +39,20 @@ type GatewayOptions struct {
 	// WorkTime is per-operation backend work (zero: none): with real work
 	// per entry, adding backends shows in the batch latency.
 	WorkTime time.Duration
+	// WorkTimes overrides WorkTime per backend (index i for backend i),
+	// skewing the fleet — the regime the control-plane experiments probe.
+	WorkTimes []time.Duration
+	// Weights sets per-backend routing weights for the weighted policy
+	// (index i for backend i; missing entries default to 1).
+	Weights []int
 	// Policy selects the sharding strategy (default round-robin).
 	Policy gateway.Policy
+	// AdminService enables the Admin control-plane service on every
+	// backend server and on the gateway itself.
+	AdminService bool
+	// Membership configures the gateway's control-plane poller (zero:
+	// disabled). Requires AdminService for the polls to succeed.
+	Membership gateway.MembershipConfig
 	// MaxActivePerBackend bounds concurrent gateway→backend exchanges
 	// (zero: unbounded), the protective cap any production front tier
 	// places on its backends.
@@ -77,8 +89,12 @@ func NewGatewayEnv(opt GatewayOptions) (*GatewayEnv, error) {
 
 	var backends []gateway.BackendConfig
 	for i := 0; i < opt.Backends; i++ {
+		work := opt.WorkTime
+		if i < len(opt.WorkTimes) {
+			work = opt.WorkTimes[i]
+		}
 		container := registry.NewContainer()
-		if err := services.DeployEcho(container, services.Options{WorkTime: opt.WorkTime}); err != nil {
+		if err := services.DeployEcho(container, services.Options{WorkTime: work}); err != nil {
 			return fail(err)
 		}
 		link := netsim.NewLink(opt.Network)
@@ -89,14 +105,19 @@ func NewGatewayEnv(opt GatewayOptions) (*GatewayEnv, error) {
 		}
 		srv, err := core.NewServer(core.ServerConfig{
 			Container: container, AppWorkers: opt.AppWorkers,
+			AdminService: opt.AdminService,
 		})
 		if err != nil {
 			return fail(err)
 		}
 		env.servers = append(env.servers, srv)
 		go srv.Serve(lis)
+		weight := 1
+		if i < len(opt.Weights) && opt.Weights[i] > 0 {
+			weight = opt.Weights[i]
+		}
 		backends = append(backends, gateway.BackendConfig{
-			Name: fmt.Sprintf("b%d", i), Dial: link.Dial,
+			Name: fmt.Sprintf("b%d", i), Dial: link.Dial, Weight: weight,
 		})
 	}
 
@@ -106,6 +127,8 @@ func NewGatewayEnv(opt GatewayOptions) (*GatewayEnv, error) {
 		Registry:            registryContainer,
 		MaxActivePerBackend: opt.MaxActivePerBackend,
 		Coalesce:            opt.Coalesce,
+		AdminService:        opt.AdminService,
+		Membership:          opt.Membership,
 	})
 	if err != nil {
 		return fail(err)

@@ -50,7 +50,7 @@ func goldenEnvelopes(t *testing.T) map[string]*soap.Envelope {
 		f := &soap.Fault{Code: soap.FaultServer, String: "deliberate failure", Actor: "/services/Echo"}
 		return f.EnvelopeFor(v)
 	}
-	return map[string]*soap.Envelope{
+	out := map[string]*soap.Envelope{
 		"single11.xml": build(soap.V11, false),
 		"single12.xml": build(soap.V12, false),
 		"packed11.xml": build(soap.V11, true),
@@ -58,6 +58,12 @@ func goldenEnvelopes(t *testing.T) map[string]*soap.Envelope {
 		"fault11.xml":  fault(soap.V11),
 		"fault12.xml":  fault(soap.V12),
 	}
+	// The control-plane envelopes (Admin.GetStats/SetState) are pinned by
+	// the same suite — see golden_admin_test.go.
+	for name, env := range adminGoldenEnvelopes(t) {
+		out[name] = env
+	}
+	return out
 }
 
 func TestGoldenEnvelopes(t *testing.T) {

@@ -6,12 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
 	"repro/internal/registry"
@@ -120,6 +122,15 @@ type ServerConfig struct {
 	// block, mutex, threadcreate) on this server. Off by default: these
 	// endpoints are for operators, not for the SOAP surface.
 	DebugEndpoints bool
+
+	// AdminService deploys the cluster control-plane "Admin" service
+	// (GetStats/SetState) into the container, making this server pollable
+	// by gateway membership managers and cmd/spiexporter. Off by default:
+	// the management surface is opt-in. See docs/CONTROL_PLANE.md.
+	AdminService bool
+	// AdminWeight is the initial advertised routing weight (default 1).
+	// Operators change it at runtime through Admin.SetState.
+	AdminWeight int
 }
 
 // ServerStats counts server-side work, for experiments.
@@ -162,6 +173,7 @@ type Server struct {
 	controller *stage.Controller // nil unless AdaptiveAppStage
 	protSem    chan struct{}     // nil when ProtocolWorkers == 0
 	diff       *diffCache        // nil unless DifferentialDeserialization
+	adminState *admin.State      // nil unless AdminService
 
 	envelopes  atomic.Int64
 	requests   atomic.Int64
@@ -235,7 +247,68 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Handler:      s.handle,
 		MaxBodyBytes: cfg.MaxBodyBytes,
 	}
+	if cfg.AdminService {
+		s.adminState = admin.NewState(int64(cfg.AdminWeight))
+		if err := admin.Deploy(cfg.Container, s, s.adminState); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// AdminState exposes the control-plane routing state (weight/drain), or nil
+// when AdminService is off.
+func (s *Server) AdminState() *admin.State { return s.adminState }
+
+// AdminStats builds the control-plane snapshot the Admin service advertises.
+// Usable (with weight 1, not draining) even when AdminService is off, so
+// embedders can feed their own management surface.
+func (s *Server) AdminStats() admin.Stats {
+	st := s.Stats()
+	out := admin.Stats{
+		Role:       "server",
+		Weight:     1,
+		Workers:    int64(st.AppStage.Workers),
+		Busy:       st.AppStage.Busy,
+		QueueDepth: int64(st.AppStage.Queued),
+		QueueCap:   int64(st.AppStage.QueueCap),
+		Inflight:   st.AppStage.Busy + int64(st.AppStage.Queued),
+		Envelopes:  st.Envelopes,
+		Requests:   st.Requests,
+		Packed:     st.PackedMessages,
+		Faults:     st.Faults,
+		ItemFaults: st.ItemFaults,
+	}
+	if out.Idle = out.Workers - out.Busy; out.Idle < 0 {
+		out.Idle = 0
+	}
+	if s.adminState != nil {
+		out.Weight, out.Draining = s.adminState.Snapshot()
+	}
+	if len(st.Operations) > 0 {
+		names := make([]string, 0, len(st.Operations))
+		for name := range st.Operations {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out.Ops = make([]admin.OpStat, 0, len(names))
+		for _, name := range names {
+			e := st.Operations[name].Export()
+			out.Ops = append(out.Ops, admin.OpStat{
+				Op: name, Count: e.Count, MeanUs: e.MeanUs,
+				P50Us: e.P50Us, P90Us: e.P90Us, P99Us: e.P99Us,
+			})
+		}
+	}
+	return out
+}
+
+// HandleHTTP serves one already-parsed HTTP request through the full
+// protocol path (tracing, deadline budget, dispatch, assembly) — the
+// embedding hook the gateway uses to self-host its own Admin endpoint
+// without a second listener.
+func (s *Server) HandleHTTP(ctx context.Context, req *httpx.Request) *httpx.Response {
+	return s.handle(ctx, req)
 }
 
 // Serve accepts connections on l until Close.
@@ -682,8 +755,13 @@ func (s *Server) dispatchSingle(ctx context.Context, entry *xmldom.Element, rctx
 		return nil, fault
 	}
 	var res *rpcResult
-	if s.cfg.Coupled || s.appPool == nil {
+	if s.cfg.Coupled || s.appPool == nil || (s.adminState != nil && req.service == admin.ServiceName) {
 		// Traditional coupled architecture: execute on the protocol thread.
+		// Control-plane (Admin) operations take the same inline path even
+		// when staged: they only read counters or flip atomics, and they
+		// must stay answerable while the application stage is saturated —
+		// a GetStats poll that queues behind the very backlog it is meant
+		// to report would go stale exactly when the gateway needs it most.
 		res = s.execute(ctx, req, rctx)
 	} else {
 		// Staged architecture: even a single request runs on the

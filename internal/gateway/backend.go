@@ -24,8 +24,10 @@ package gateway
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
 )
@@ -40,17 +42,43 @@ type BackendConfig struct {
 	// DialCtx is the context-aware dialer; preferred over Dial so
 	// deadline propagation covers connection establishment.
 	DialCtx httpx.DialerCtx
+	// Weight is the backend's routing weight under the Weighted policy
+	// (default 1): a backend with weight 4 receives roughly four times the
+	// entries of a weight-1 peer at equal load. It is also the fallback
+	// effective weight while admin stats are missing or stale; once the
+	// membership manager polls the backend, the weight the backend itself
+	// advertises (Admin.SetState) takes precedence.
+	Weight int
 }
 
+// effWeightScale is the fixed-point scale of backend.effWeight: effective
+// weights carry three decimal places so the load-factor modulation keeps
+// resolution without floating point on the assignment hot path.
+const effWeightScale = 1000
+
 // backend is one pool member: a keep-alive connection pool plus the
-// passive-ejection circuit and its counters.
+// passive-ejection circuit, the control-plane routing state, and counters.
 type backend struct {
-	index  int
+	index  int // unique for the gateway's lifetime, never reused
 	name   string
 	client *httpx.Client
+	weight int64 // configured baseline (>= 1), immutable
 
-	inflight  metrics.Gauge   // sub-batches currently in flight
-	exchanges metrics.Counter // sub-batch exchanges attempted
+	// effWeight is the live effective weight in effWeightScale fixed-point,
+	// maintained by the membership manager (configured weight × load
+	// factor). Zero means "never set": fall back to the configured weight.
+	effWeight atomic.Int64
+	// draining stops new shard assignment while in-flight work finishes.
+	draining atomic.Bool
+
+	inflight metrics.Gauge // sub-batches currently in flight
+	// entriesInflight counts packed ENTRIES in flight, not sub-batches: a
+	// 1-entry shard on a slow node and a 5-entry shard on a fast one are
+	// very different amounts of outstanding work, and load-aware policies
+	// that cannot tell them apart dog-pile whichever backend's single
+	// sub-batch happens to finish first.
+	entriesInflight metrics.Gauge
+	exchanges       metrics.Counter // sub-batch exchanges attempted
 	failures  metrics.Counter // exchanges that errored
 	ejections metrics.Counter // circuit openings
 	failovers metrics.Counter // sub-batches moved away after failing here
@@ -58,6 +86,22 @@ type backend struct {
 	mu           sync.Mutex
 	consecFails  int
 	ejectedUntil time.Time
+
+	// Last admin poll, guarded separately from the circuit lock.
+	statsMu     sync.Mutex
+	lastStats   admin.Stats
+	statsAt     time.Time
+	ewmaFactor  float64 // smoothed load factor
+	advertDrain bool    // drain state the backend last advertised
+}
+
+// effectiveWeight returns the current fixed-point effective weight, falling
+// back to the configured weight when the membership manager has not set one.
+func (b *backend) effectiveWeight() int64 {
+	if w := b.effWeight.Load(); w > 0 {
+		return w
+	}
+	return b.weight * effWeightScale
 }
 
 // available reports whether the backend may be handed work: the circuit is
@@ -125,9 +169,19 @@ func (b *backend) probe(ctx context.Context, target string, threshold int, repro
 type BackendStats struct {
 	Name     string
 	Ejected  bool
-	InFlight int64
-	Idle     int // pooled keep-alive connections
-	HTTPBusy int // exchanges inside the HTTP client right now
+	Draining bool
+	InFlight int64 // sub-batches in flight
+	Entries  int64 // packed entries in flight (the load-aware policies' signal)
+	Idle     int   // pooled keep-alive connections
+	HTTPBusy int   // exchanges inside the HTTP client right now
+
+	// Weight is the configured baseline; EffWeight the live effective
+	// weight the Weighted policy routes by (equal to Weight until the
+	// membership manager modulates it). StatsAgeMs is the age of the last
+	// successful admin poll in milliseconds, -1 when never polled.
+	Weight     int64
+	EffWeight  float64
+	StatsAgeMs int64
 
 	Exchanges int64
 	Failures  int64
@@ -137,15 +191,26 @@ type BackendStats struct {
 
 func (b *backend) stats(now time.Time) BackendStats {
 	ps := b.client.PoolStats()
+	b.statsMu.Lock()
+	statsAge := int64(-1)
+	if !b.statsAt.IsZero() {
+		statsAge = now.Sub(b.statsAt).Milliseconds()
+	}
+	b.statsMu.Unlock()
 	return BackendStats{
-		Name:      b.name,
-		Ejected:   b.ejectedNow(now),
-		InFlight:  b.inflight.Load(),
-		Idle:      ps.Idle,
-		HTTPBusy:  ps.InFlight,
-		Exchanges: b.exchanges.Load(),
-		Failures:  b.failures.Load(),
-		Ejections: b.ejections.Load(),
-		Failovers: b.failovers.Load(),
+		Name:       b.name,
+		Ejected:    b.ejectedNow(now),
+		Draining:   b.draining.Load(),
+		InFlight:   b.inflight.Load(),
+		Entries:    b.entriesInflight.Load(),
+		Idle:       ps.Idle,
+		HTTPBusy:   ps.InFlight,
+		Weight:     b.weight,
+		EffWeight:  float64(b.effectiveWeight()) / effWeightScale,
+		StatsAgeMs: statsAge,
+		Exchanges:  b.exchanges.Load(),
+		Failures:   b.failures.Load(),
+		Ejections:  b.ejections.Load(),
+		Failovers:  b.failovers.Load(),
 	}
 }

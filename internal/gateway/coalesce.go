@@ -368,19 +368,15 @@ func (g *Gateway) flushBatch(baseCtx context.Context, b *pendingBatch) {
 	}
 
 	sr := &core.ScatterRequest{Version: b.key.version, Packed: true, Entries: entries}
-	shards := g.assign(entries)
 	var wg sync.WaitGroup
-	for bi, shard := range shards {
-		if len(shard) == 0 {
-			continue
-		}
+	for _, sh := range g.assign(entries) {
 		g.scattered.Inc()
 		sink := &coalesceSink{calls: b.calls}
 		wg.Add(1)
 		go func(be *backend, shard []*core.ScatterEntry, sink *coalesceSink) {
 			defer wg.Done()
 			g.sendShard(ctx, be, sr, shard, sink)
-		}(g.backends[bi], shard, sink)
+		}(sh.b, sh.entries, sink)
 	}
 	wg.Wait()
 	if tr.Enabled() {

@@ -225,6 +225,52 @@ func TestDifferentialPolicies(t *testing.T) {
 	}
 }
 
+func TestDifferentialWeighted(t *testing.T) {
+	// With all weights equal, Weighted's load-per-weight score degenerates
+	// to LeastLoaded's plain load comparison, and both scan first-min — so
+	// on an identical seeded workload the two policies must make the exact
+	// same picks (per-backend exchange counts match) and return byte-equal
+	// responses. This pins the comparison in assign(): any drift in the
+	// scoring or scan order shows up as a count mismatch here.
+	for _, k := range []int{1, 2, 3, 4} {
+		for _, v := range []soap.Version{soap.V11, soap.V12} {
+			t.Run(fmt.Sprintf("backends=%d/%s", k, v), func(t *testing.T) {
+				t.Parallel()
+				seed := int64(4000*k + int(v))
+				rng := rand.New(rand.NewSource(seed))
+				fw := newFarm(t, k, func(cfg *Config) { cfg.Policy = Weighted })
+				fl := newFarm(t, k, func(cfg *Config) { cfg.Policy = LeastLoaded })
+				wc, lc := fw.raw(), fl.raw()
+				defer wc.Close()
+				defer lc.Close()
+
+				docs := make([][]byte, 12)
+				for i := range docs {
+					n := rng.Intn(8) + 1
+					entries := make([]string, n)
+					for j := range entries {
+						entries[j] = randomEntry(rng, true)
+					}
+					docs[i] = packedDoc(v, entries)
+				}
+				for i, doc := range docs {
+					label := fmt.Sprintf("seed=%d doc=%d", seed, i)
+					rw := post(t, wc, "/services", v.ContentType(), doc)
+					rl := post(t, lc, "/services", v.ContentType(), doc)
+					diffReplies(t, label, doc, rl, rw)
+				}
+				sw, sl := fw.gw.Stats(), fl.gw.Stats()
+				for i := range sw.Backends {
+					if sw.Backends[i].Exchanges != sl.Backends[i].Exchanges {
+						t.Errorf("backend %d: weighted exchanges = %d, least-loaded = %d — picks diverged",
+							i, sw.Backends[i].Exchanges, sl.Backends[i].Exchanges)
+					}
+				}
+			})
+		}
+	}
+}
+
 func TestDifferentialWholeMessageFaults(t *testing.T) {
 	d := newDirect(t)
 	f := newFarm(t, 2, nil)

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
@@ -82,14 +83,38 @@ type Config struct {
 	// DebugEndpoints serves GET /spi/stats with gateway and per-backend
 	// counters.
 	DebugEndpoints bool
+
+	// Membership enables the control-plane poller: backend Admin services
+	// are polled on a jittered interval and the results feed the Weighted
+	// policy's effective weights and the backends' advertised drain state.
+	// See MembershipConfig and docs/CONTROL_PLANE.md.
+	Membership MembershipConfig
+
+	// AdminService self-hosts the gateway's own Admin SOAP service
+	// (GetStats/SetState) at PathPrefix+"Admin", served by the gateway
+	// itself rather than proxied to a backend — so fleets of gateways are
+	// pollable by exporters and upstream gateways exactly like servers.
+	AdminService bool
+	// AdminWeight is the gateway's initial advertised weight (default 1).
+	AdminWeight int
 }
 
 // Gateway is the scatter–gather front tier. Create with New.
 type Gateway struct {
-	cfg      Config
-	backends []*backend
-	httpSrv  *httpx.Server
-	rr       uint64 // round-robin cursor
+	cfg     Config
+	httpSrv *httpx.Server
+	rr      uint64 // round-robin cursor
+
+	// bmu guards the live membership set. Backends carry monotonically
+	// increasing indices (nextIndex) that are never reused, so response
+	// gathering keyed by backend index stays unambiguous across
+	// add/remove churn. Request paths work on snapshot() copies.
+	bmu       sync.RWMutex
+	backends  []*backend
+	nextIndex int
+
+	adminSrv   *core.Server // self-hosted Admin endpoint; nil unless AdminService
+	adminState *admin.State // nil unless AdminService
 
 	envelopes  metrics.Counter // POSTed envelopes accepted
 	packed     metrics.Counter // of which packed (scattered)
@@ -108,6 +133,13 @@ type Gateway struct {
 
 	probeStop chan struct{}
 	probeWG   sync.WaitGroup
+
+	memberStop chan struct{} // closed by stop(); nil until membership starts
+	memberWG   sync.WaitGroup
+	stopCh     chan struct{} // closed by stop(); bounds drain waiters
+	stopOnce   sync.Once
+	drainWG    sync.WaitGroup
+	drained    metrics.Counter // backends fully drained (in-flight hit zero)
 }
 
 // New validates the configuration and builds the gateway with one
@@ -131,32 +163,35 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.Retry == nil {
 		cfg.Retry = core.DefaultRetryPolicy()
 	}
-	g := &Gateway{cfg: cfg}
+	cfg.Membership = cfg.Membership.withDefaults()
+	g := &Gateway{cfg: cfg, stopCh: make(chan struct{})}
 	for i, bc := range cfg.Backends {
-		if bc.Dial == nil && bc.DialCtx == nil {
-			return nil, fmt.Errorf("gateway: backend %d has no dialer", i)
+		if _, err := g.newBackend(bc); err != nil {
+			return nil, fmt.Errorf("gateway: backend %d: %w", i, err)
 		}
-		name := bc.Name
-		if name == "" {
-			name = fmt.Sprintf("backend%d", i)
-		}
-		g.backends = append(g.backends, &backend{
-			index: i,
-			name:  name,
-			client: &httpx.Client{
-				Dial:         bc.Dial,
-				DialCtx:      bc.DialCtx,
-				KeepAlive:    true,
-				MaxIdle:      cfg.MaxIdlePerBackend,
-				MaxActive:    cfg.MaxActivePerBackend,
-				Timeout:      cfg.ExchangeTimeout,
-				MaxBodyBytes: cfg.MaxBodyBytes,
-			},
-		})
 	}
 	g.httpSrv = &httpx.Server{
 		Handler:      g.Handle,
 		MaxBodyBytes: cfg.MaxBodyBytes,
+	}
+	if cfg.AdminService {
+		adminC := registry.NewContainer()
+		g.adminState = admin.NewState(int64(cfg.AdminWeight))
+		if err := admin.Deploy(adminC, g, g.adminState); err != nil {
+			return nil, err
+		}
+		// A coupled embedded server: the Admin operations are cheap reads
+		// and writes, so they execute inline on the protocol goroutine.
+		srv, err := core.NewServer(core.ServerConfig{
+			Container:  adminC,
+			Coupled:    true,
+			PathPrefix: cfg.PathPrefix,
+			Tracer:     cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.adminSrv = srv
 	}
 	if cfg.Coalesce.Enabled {
 		g.coalescer = newCoalescer(g, cfg.Coalesce)
@@ -166,7 +201,76 @@ func New(cfg Config) (*Gateway, error) {
 		g.probeWG.Add(1)
 		go g.probeLoop()
 	}
+	if cfg.Membership.Enabled {
+		g.memberStop = make(chan struct{})
+		g.memberWG.Add(1)
+		go g.membershipLoop()
+	}
 	return g, nil
+}
+
+// newBackend validates one BackendConfig, builds its pool member and
+// appends it to the live set under a fresh monotonic index.
+func (g *Gateway) newBackend(bc BackendConfig) (*backend, error) {
+	if bc.Dial == nil && bc.DialCtx == nil {
+		return nil, fmt.Errorf("no dialer")
+	}
+	weight := int64(bc.Weight)
+	if weight < 1 {
+		weight = 1
+	}
+	g.bmu.Lock()
+	defer g.bmu.Unlock()
+	index := g.nextIndex
+	g.nextIndex++
+	name := bc.Name
+	if name == "" {
+		name = fmt.Sprintf("backend%d", index)
+	}
+	for _, other := range g.backends {
+		if other.name == name {
+			return nil, fmt.Errorf("backend name %q already in use", name)
+		}
+	}
+	b := &backend{
+		index:  index,
+		name:   name,
+		weight: weight,
+		client: &httpx.Client{
+			Dial:         bc.Dial,
+			DialCtx:      bc.DialCtx,
+			KeepAlive:    true,
+			MaxIdle:      g.cfg.MaxIdlePerBackend,
+			MaxActive:    g.cfg.MaxActivePerBackend,
+			Timeout:      g.cfg.ExchangeTimeout,
+			MaxBodyBytes: g.cfg.MaxBodyBytes,
+		},
+	}
+	g.backends = append(g.backends, b)
+	return b, nil
+}
+
+// snapshot returns the live membership set. The slice is a copy; the
+// backends are shared. Request paths hold a snapshot for their whole
+// lifetime, so a concurrent remove never yanks a backend out from under an
+// in-flight scatter — the removed backend just stops appearing in new
+// snapshots.
+func (g *Gateway) snapshot() []*backend {
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
+	return append([]*backend(nil), g.backends...)
+}
+
+// backendByName finds a live backend.
+func (g *Gateway) backendByName(name string) (*backend, error) {
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
+	for _, b := range g.backends {
+		if b.name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("gateway: no backend named %q", name)
 }
 
 // Serve accepts connections on l until Close.
@@ -190,6 +294,12 @@ func (g *Gateway) Shutdown(timeout time.Duration) error {
 }
 
 func (g *Gateway) stop() {
+	g.stopOnce.Do(func() { close(g.stopCh) })
+	if g.memberStop != nil {
+		close(g.memberStop)
+		g.memberWG.Wait()
+		g.memberStop = nil
+	}
 	if g.probeStop != nil {
 		close(g.probeStop)
 		g.probeWG.Wait()
@@ -201,7 +311,8 @@ func (g *Gateway) stop() {
 	if g.coalescer != nil {
 		g.coalescer.close()
 	}
-	for _, b := range g.backends {
+	g.drainWG.Wait()
+	for _, b := range g.snapshot() {
 		b.client.Close()
 	}
 }
@@ -219,7 +330,7 @@ func (g *Gateway) probeLoop() {
 			return
 		case <-t.C:
 			now := time.Now()
-			for _, b := range g.backends {
+			for _, b := range g.snapshot() {
 				if b.ejectedNow(now) {
 					continue // circuit open: wait out the re-probe timer
 				}
@@ -254,6 +365,9 @@ type Stats struct {
 	Scattered int64
 	Failovers int64
 	Degraded  int64
+	// Drained counts backends whose drain completed: in-flight work hit
+	// zero and the keep-alive pool was released.
+	Drained int64
 
 	// Coalesced counts single calls merged into synthetic batches;
 	// CoalescePassthrough counts single calls that bypassed coalescing
@@ -282,6 +396,7 @@ func (g *Gateway) Stats() Stats {
 		Scattered:  g.scattered.Load(),
 		Failovers:  g.failovers.Load(),
 		Degraded:   g.degraded.Load(),
+		Drained:    g.drained.Load(),
 
 		Coalesced:           g.coalesced.Load(),
 		CoalesceBatches:     g.coalesceBatches.Load(),
@@ -295,10 +410,34 @@ func (g *Gateway) Stats() Stats {
 			st.CoalesceSizes[batchSizeBuckets[i]] = n
 		}
 	}
-	for _, b := range g.backends {
+	for _, b := range g.snapshot() {
 		st.Backends = append(st.Backends, b.stats(now))
 	}
 	return st
+}
+
+// AdminStats builds the control-plane snapshot the gateway's self-hosted
+// Admin service advertises: the gateway has no application stage, so the
+// worker/queue fields stay zero and Inflight counts outstanding backend
+// sub-batches. Requests counts units of backend work dispatched (proxied
+// envelopes plus scattered sub-batches).
+func (g *Gateway) AdminStats() admin.Stats {
+	out := admin.Stats{
+		Role:       "gateway",
+		Weight:     1,
+		Envelopes:  g.envelopes.Load(),
+		Requests:   g.proxied.Load() + g.scattered.Load(),
+		Packed:     g.packed.Load(),
+		Faults:     g.faults.Load(),
+		ItemFaults: g.itemFaults.Load(),
+	}
+	if g.adminState != nil {
+		out.Weight, out.Draining = g.adminState.Snapshot()
+	}
+	for _, b := range g.snapshot() {
+		out.Inflight += b.inflight.Load()
+	}
+	return out
 }
 
 // debugPathPrefix mirrors the server's debug mount point.

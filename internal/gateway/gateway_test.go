@@ -391,20 +391,30 @@ func TestPolicyAssignment(t *testing.T) {
 		return es
 	}
 
+	// byIndex spreads the returned shards over the backends' indices so the
+	// assertions below can address backends positionally.
+	byIndex := func(shards []shard) map[int][]*core.ScatterEntry {
+		out := make(map[int][]*core.ScatterEntry)
+		for _, sh := range shards {
+			out[sh.b.index] = sh.entries
+		}
+		return out
+	}
+
 	t.Run("round-robin", func(t *testing.T) {
 		f := newFarm(t, 3, nil)
 		atomic.StoreUint64(&f.gw.rr, 0)
-		shards := f.gw.assign(entries("a", "b", "c", "d", "e", "f"))
-		for i, shard := range shards {
-			if len(shard) != 2 {
-				t.Errorf("shard %d has %d entries, want 2", i, len(shard))
+		shards := byIndex(f.gw.assign(entries("a", "b", "c", "d", "e", "f")))
+		for i := 0; i < 3; i++ {
+			if len(shards[i]) != 2 {
+				t.Errorf("shard %d has %d entries, want 2", i, len(shards[i]))
 			}
 		}
 	})
 
 	t.Run("op-affinity", func(t *testing.T) {
 		f := newFarm(t, 3, func(cfg *Config) { cfg.Policy = OpAffinity })
-		shards := f.gw.assign(entries("x", "x", "x", "y", "y", "y"))
+		shards := byIndex(f.gw.assign(entries("x", "x", "x", "y", "y", "y")))
 		// Same op must land on the same backend.
 		perOp := map[string]int{}
 		for bi, shard := range shards {
@@ -420,8 +430,8 @@ func TestPolicyAssignment(t *testing.T) {
 	t.Run("least-loaded", func(t *testing.T) {
 		f := newFarm(t, 3, func(cfg *Config) { cfg.Policy = LeastLoaded })
 		// Pretend backend 0 is busy: everything should avoid it.
-		f.gw.backends[0].inflight.Add(100)
-		shards := f.gw.assign(entries("a", "b", "c", "d"))
+		f.gw.backends[0].entriesInflight.Add(100)
+		shards := byIndex(f.gw.assign(entries("a", "b", "c", "d")))
 		if len(shards[0]) != 0 {
 			t.Errorf("busy backend got %d entries", len(shards[0]))
 		}
@@ -433,14 +443,37 @@ func TestPolicyAssignment(t *testing.T) {
 		}
 	})
 
+	t.Run("weighted-skew", func(t *testing.T) {
+		f := newFarm(t, 2, func(cfg *Config) { cfg.Policy = Weighted })
+		// Backend 0 carries 3× the effective weight of backend 1: at equal
+		// load it must absorb three quarters of the entries.
+		f.gw.backends[0].effWeight.Store(3 * effWeightScale)
+		f.gw.backends[1].effWeight.Store(1 * effWeightScale)
+		shards := byIndex(f.gw.assign(entries("a", "b", "c", "d", "e", "f", "g", "h")))
+		if len(shards[0]) != 6 || len(shards[1]) != 2 {
+			t.Errorf("weighted spread %d/%d, want 6/2", len(shards[0]), len(shards[1]))
+		}
+	})
+
+	t.Run("draining-excluded", func(t *testing.T) {
+		f := newFarm(t, 3, nil)
+		f.gw.backends[1].draining.Store(true)
+		shards := byIndex(f.gw.assign(entries("a", "b", "c", "d", "e", "f")))
+		if len(shards[1]) != 0 {
+			t.Errorf("draining backend got %d entries", len(shards[1]))
+		}
+		if len(shards[0])+len(shards[2]) != 6 {
+			t.Errorf("routable backends got %d entries, want 6", len(shards[0])+len(shards[2]))
+		}
+	})
+
 	t.Run("faulted-entries-skipped", func(t *testing.T) {
 		f := newFarm(t, 2, nil)
 		es := entries("a", "b")
 		es[0].Fault = soap.ClientFault("broken")
-		shards := f.gw.assign(es)
 		total := 0
-		for _, shard := range shards {
-			total += len(shard)
+		for _, sh := range f.gw.assign(es) {
+			total += len(sh.entries)
 		}
 		if total != 1 {
 			t.Errorf("assigned %d entries, want 1 (faulted entry skipped)", total)
@@ -451,7 +484,8 @@ func TestPolicyAssignment(t *testing.T) {
 func TestParsePolicy(t *testing.T) {
 	cases := map[string]Policy{
 		"round-robin": RoundRobin, "least-loaded": LeastLoaded,
-		"op-affinity": OpAffinity, "bogus": RoundRobin, "": RoundRobin,
+		"op-affinity": OpAffinity, "weighted": Weighted,
+		"bogus": RoundRobin, "": RoundRobin,
 	}
 	for s, want := range cases {
 		if got := ParsePolicy(s); got != want {

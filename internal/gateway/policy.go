@@ -16,13 +16,20 @@ const (
 	// the default; maximizes parallelism for uniform work.
 	RoundRobin Policy = iota
 	// LeastLoaded assigns each entry to the backend with the fewest
-	// sub-batches in flight (counting this request's own assignments), so
-	// slow backends accumulate less work.
+	// packed entries in flight (counting this request's own assignments),
+	// so slow backends accumulate less work.
 	LeastLoaded
 	// OpAffinity hashes (service, operation) onto the backend list, so
 	// the same operation always lands on the same healthy backend —
 	// keeps per-operation caches warm on a heterogeneous farm.
 	OpAffinity
+	// Weighted assigns each entry to the backend with the lowest
+	// load-per-effective-weight, where the effective weight is the
+	// configured (or backend-advertised) weight modulated by the
+	// membership manager's view of real load — worker occupancy and queue
+	// depth from the Admin service. With all weights equal it degrades
+	// exactly to LeastLoaded. See docs/CONTROL_PLANE.md.
+	Weighted
 )
 
 // String names the policy for flags and stats.
@@ -32,6 +39,8 @@ func (p Policy) String() string {
 		return "least-loaded"
 	case OpAffinity:
 		return "op-affinity"
+	case Weighted:
+		return "weighted"
 	default:
 		return "round-robin"
 	}
@@ -45,35 +54,71 @@ func ParsePolicy(s string) Policy {
 		return LeastLoaded
 	case "op-affinity":
 		return OpAffinity
+	case "weighted":
+		return Weighted
 	default:
 		return RoundRobin
 	}
 }
 
-// assign shards the live (non-faulted) entries across the currently
-// available backends. The returned slice is indexed by backend; nil shards
-// get no sub-batch. When every circuit is open the full pool is used —
-// failing open gives re-probes a chance instead of failing every entry.
-func (g *Gateway) assign(entries []*core.ScatterEntry) [][]*core.ScatterEntry {
-	now := time.Now()
-	candidates := make([]*backend, 0, len(g.backends))
-	for _, b := range g.backends {
-		if b.available(now) {
+// shard is one backend's share of a scattered request. assign returns
+// backend-paired shards (not a backend-indexed slice) so the membership set
+// can grow and shrink between requests without invalidating assignments.
+type shard struct {
+	b       *backend
+	entries []*core.ScatterEntry
+}
+
+// routableCandidates filters a membership snapshot down to the backends
+// new work may be handed: circuit closed (or half-open) and not draining.
+// When nothing qualifies the policy fails open to the non-draining set, or
+// the full snapshot as a last resort — failing open gives re-probes a
+// chance instead of failing every entry.
+func routableCandidates(backends []*backend, now time.Time) []*backend {
+	candidates := make([]*backend, 0, len(backends))
+	for _, b := range backends {
+		if !b.draining.Load() && b.available(now) {
 			candidates = append(candidates, b)
 		}
 	}
-	if len(candidates) == 0 {
-		candidates = g.backends
+	if len(candidates) > 0 {
+		return candidates
 	}
-	shards := make([][]*core.ScatterEntry, len(g.backends))
+	for _, b := range backends {
+		if !b.draining.Load() {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) > 0 {
+		return candidates
+	}
+	return backends
+}
+
+// assign shards the live (non-faulted) entries across the routable
+// backends of the current membership snapshot.
+func (g *Gateway) assign(entries []*core.ScatterEntry) []shard {
+	backends := g.snapshot()
+	candidates := routableCandidates(backends, time.Now())
+	shards := make(map[*backend]*shard, len(candidates))
+	place := func(e *core.ScatterEntry, b *backend) {
+		sh := shards[b]
+		if sh == nil {
+			sh = &shard{b: b}
+			shards[b] = sh
+		}
+		sh.entries = append(sh.entries, e)
+	}
 	switch g.cfg.Policy {
 	case LeastLoaded:
-		// Snapshot in-flight counts once and add this batch's own
+		// Snapshot in-flight ENTRY counts once and add this batch's own
 		// assignments on top, so one request doesn't dog-pile the backend
-		// that merely happened to be idle at the first entry.
+		// that merely happened to be idle at the first entry. Entries, not
+		// sub-batches: a 1-entry shard and a 5-entry shard are one exchange
+		// each but very different amounts of outstanding work.
 		load := make([]int64, len(candidates))
 		for i, b := range candidates {
-			load[i] = b.inflight.Load()
+			load[i] = b.entriesInflight.Load()
 		}
 		for _, e := range entries {
 			if e.Fault != nil {
@@ -85,7 +130,33 @@ func (g *Gateway) assign(entries []*core.ScatterEntry) [][]*core.ScatterEntry {
 					min = i
 				}
 			}
-			shards[candidates[min].index] = append(shards[candidates[min].index], e)
+			place(e, candidates[min])
+			load[min]++
+		}
+	case Weighted:
+		// Lowest load-per-effective-weight wins: compare
+		// (load+1)/effWeight by cross-multiplication, keeping the
+		// assignment loop in exact integer arithmetic. The +1 counts the
+		// entry being placed, so with equal effective weights the ordering
+		// — and therefore every pick, scanning first-min like LeastLoaded —
+		// is identical to LeastLoaded (pinned by TestDifferentialWeighted).
+		load := make([]int64, len(candidates))
+		eff := make([]int64, len(candidates))
+		for i, b := range candidates {
+			load[i] = b.entriesInflight.Load()
+			eff[i] = b.effectiveWeight()
+		}
+		for _, e := range entries {
+			if e.Fault != nil {
+				continue
+			}
+			min := 0
+			for i := 1; i < len(candidates); i++ {
+				if (load[i]+1)*eff[min] < (load[min]+1)*eff[i] {
+					min = i
+				}
+			}
+			place(e, candidates[min])
 			load[min]++
 		}
 	case OpAffinity:
@@ -97,8 +168,7 @@ func (g *Gateway) assign(entries []*core.ScatterEntry) [][]*core.ScatterEntry {
 			h.Write([]byte(e.Service))
 			h.Write([]byte{'.'})
 			h.Write([]byte(e.Op))
-			b := candidates[int(h.Sum32())%len(candidates)]
-			shards[b.index] = append(shards[b.index], e)
+			place(e, candidates[int(h.Sum32())%len(candidates)])
 		}
 	default: // RoundRobin
 		for _, e := range entries {
@@ -106,31 +176,53 @@ func (g *Gateway) assign(entries []*core.ScatterEntry) [][]*core.ScatterEntry {
 				continue
 			}
 			n := atomic.AddUint64(&g.rr, 1) - 1
-			b := candidates[int(n%uint64(len(candidates)))]
-			shards[b.index] = append(shards[b.index], e)
+			place(e, candidates[int(n%uint64(len(candidates)))])
 		}
 	}
-	return shards
+	// Reserve the placed entries on their backends immediately — sendShard
+	// releases them when the shard resolves. Counting from assignment, not
+	// dispatch, keeps concurrent assigns from all seeing a backend as idle
+	// in the window before its shards reach the wire.
+	for _, sh := range shards {
+		sh.b.entriesInflight.Add(int64(len(sh.entries)))
+	}
+	// Emit shards in candidate order so fan-out order is deterministic.
+	out := make([]shard, 0, len(shards))
+	for _, b := range candidates {
+		if sh := shards[b]; sh != nil {
+			out = append(out, *sh)
+		}
+	}
+	return out
 }
 
-// pickBackend chooses one available backend for whole-request proxying and
+// pickBackend chooses one routable backend for whole-request proxying and
 // sub-batch failover. exclude skips a backend that just failed, unless it
 // is the only one left.
 func (g *Gateway) pickBackend(exclude *backend) *backend {
+	backends := g.snapshot()
+	if len(backends) == 0 {
+		return nil
+	}
 	now := time.Now()
 	var fallback *backend
-	n := len(g.backends)
+	n := len(backends)
 	start := int(atomic.AddUint64(&g.rr, 1) - 1)
 	for i := 0; i < n; i++ {
-		b := g.backends[(start+i)%n]
+		b := backends[(start+i)%n]
 		if b == exclude {
-			fallback = b
+			if fallback == nil {
+				fallback = b
+			}
+			continue
+		}
+		if b.draining.Load() {
 			continue
 		}
 		if b.available(now) {
 			return b
 		}
-		if fallback == nil {
+		if fallback == nil || fallback == exclude {
 			fallback = b
 		}
 	}

@@ -18,6 +18,14 @@ import (
 // the backend pool; everything else (single requests, WSDL GETs) is
 // proxied whole to one backend, so the gateway is a drop-in endpoint.
 func (g *Gateway) Handle(ctx context.Context, req *httpx.Request) *httpx.Response {
+	// The gateway's own management surface: single-call envelopes POSTed to
+	// <prefix>Admin are answered by the self-hosted Admin service, not
+	// proxied — the gateway's stats and drain state are its own. Packed
+	// envelopes are still scattered even if they carry Admin entries, so a
+	// monitoring client can pack GetStats across the backend fleet.
+	if g.adminSrv != nil && g.isAdminTarget(req.Target) {
+		return g.adminSrv.HandleHTTP(ctx, req)
+	}
 	if req.Method == "GET" {
 		if g.cfg.DebugEndpoints && strings.HasPrefix(req.Target, debugPathPrefix) {
 			return g.handleDebug(req)
@@ -92,6 +100,15 @@ func (g *Gateway) serviceFromPath(target string) (string, bool) {
 	return strings.TrimPrefix(target, g.cfg.PathPrefix), true
 }
 
+// isAdminTarget reports whether the target names the gateway's own Admin
+// endpoint (query string ignored, so ?wsdl still resolves to it).
+func (g *Gateway) isAdminTarget(target string) bool {
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		target = target[:i]
+	}
+	return target == g.cfg.PathPrefix+"Admin"
+}
+
 // packTarget is the URL sub-batches POST to on backends.
 func (g *Gateway) packTarget() string {
 	return strings.TrimSuffix(g.cfg.PathPrefix, "/")
@@ -161,13 +178,9 @@ func (g *Gateway) scatterGather(ctx context.Context, req *httpx.Request, sr *cor
 		}
 	}
 
-	shards := g.assign(sr.Entries)
-	for bi, shard := range shards {
-		if len(shard) == 0 {
-			continue
-		}
+	for _, sh := range g.assign(sr.Entries) {
 		g.scattered.Inc()
-		go g.sendShard(ctx, g.backends[bi], sr, shard, col)
+		go g.sendShard(ctx, sh.b, sr, sh.entries, col)
 	}
 	if tr.Enabled() {
 		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageGatewayScatter,
@@ -241,6 +254,9 @@ type resultSink interface {
 // deliveries (first write wins). Every slot is resolved — Deliver or
 // Fail — before sendShard returns.
 func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterRequest, shard []*core.ScatterEntry, col resultSink) {
+	// assign reserved these entries on b; release from whichever backend
+	// holds the reservation when the shard resolves (failover moves it).
+	defer func() { b.entriesInflight.Add(int64(-len(shard))) }()
 	doc, err := core.BuildSubBatch(sr.Version, sr.Headers, shard)
 	if err != nil {
 		f := soap.ServerFault("building sub-batch: %v", err)
@@ -281,6 +297,8 @@ func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterReq
 		if next := g.pickBackend(b); next != nil && next != b {
 			b.failovers.Inc()
 			g.failovers.Inc()
+			b.entriesInflight.Add(int64(-len(shard)))
+			next.entriesInflight.Add(int64(len(shard)))
 			b = next
 		}
 	}
@@ -383,7 +401,8 @@ func (g *Gateway) proxy(ctx context.Context, req *httpx.Request) *httpx.Response
 	}
 	b.exchanges.Inc()
 	n := b.inflight.Add(1)
-	defer b.inflight.Add(-1)
+	b.entriesInflight.Add(1)
+	defer func() { b.inflight.Add(-1); b.entriesInflight.Add(-1) }()
 	_ = n
 	resp, err := b.client.DoCtx(ctx, out)
 	if err != nil {

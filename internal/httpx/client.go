@@ -290,6 +290,20 @@ func (c *Client) putConn(pc *persistConn) {
 	c.idle = append(c.idle, pc)
 }
 
+// CloseIdle drops the pooled idle connections without closing the client:
+// in-flight exchanges are unaffected and new requests still dial. This is
+// the keep-alive teardown a drained-but-resumable backend needs — Close is
+// terminal (subsequent requests fail), so a gateway draining a backend it
+// may later resume must use CloseIdle instead.
+func (c *Client) CloseIdle() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, pc := range c.idle {
+		pc.conn.Close()
+	}
+	c.idle = nil
+}
+
 // Close drops all pooled connections; in-flight exchanges are unaffected.
 func (c *Client) Close() {
 	c.mu.Lock()

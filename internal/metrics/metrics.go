@@ -193,6 +193,35 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[idx]
 }
 
+// SummaryExport is the cross-process shape of a Summary: integer
+// microseconds instead of time.Duration, so a snapshot survives a trip
+// through a SOAP envelope or a JSON document without losing the unit. It
+// is the per-operation latency digest the Admin control-plane service
+// advertises and the exporter scrapes.
+type SummaryExport struct {
+	// Count is the number of samples behind the digest.
+	Count int64 `json:"count"`
+	// MeanUs, P50Us, P90Us, P99Us and MaxUs are the corresponding Summary
+	// statistics in integer microseconds.
+	MeanUs int64 `json:"mean_us"`
+	P50Us  int64 `json:"p50_us"`
+	P90Us  int64 `json:"p90_us"`
+	P99Us  int64 `json:"p99_us"`
+	MaxUs  int64 `json:"max_us"`
+}
+
+// Export converts the summary to its wire shape.
+func (s Summary) Export() SummaryExport {
+	return SummaryExport{
+		Count:  int64(s.Count),
+		MeanUs: int64(s.Mean / time.Microsecond),
+		P50Us:  int64(s.P50 / time.Microsecond),
+		P90Us:  int64(s.P90 / time.Microsecond),
+		P99Us:  int64(s.P99 / time.Microsecond),
+		MaxUs:  int64(s.Max / time.Microsecond),
+	}
+}
+
 // Millis renders a duration as fractional milliseconds, the unit of the
 // paper's figures.
 func Millis(d time.Duration) float64 {

@@ -1,15 +1,24 @@
 package spi_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	spi "repro"
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/netsim"
+	"repro/internal/registry"
 	"repro/internal/services"
+	"repro/internal/soap"
+	"repro/internal/soapenc"
 )
 
 // TestSoak hammers a full deployment with a randomized mixture of every
@@ -132,4 +141,259 @@ func TestSoak(t *testing.T) {
 	if _, err := services.RunTravelAgent(env.Client, services.DefaultItinerary(), true); err != nil {
 		t.Errorf("travel agent after soak: %v", err)
 	}
+}
+
+// churnBackend is one admin-enabled backend SPI server for the membership
+// soak, standing on its own in-memory link.
+type churnBackend struct {
+	dial func() (net.Conn, error)
+}
+
+func newChurnBackend(t *testing.T) *churnBackend {
+	t.Helper()
+	link := netsim.NewLink(netsim.Fast())
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := registry.NewContainer()
+	echo := c.MustAddService("Echo", "urn:spi:Echo", "soak echo")
+	echo.MustRegister("echo", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return params, nil
+	}, "identity")
+	echo.MarkIdempotent("echo")
+	srv, err := core.NewServer(core.ServerConfig{
+		Container: c, AppWorkers: 8, AppQueue: 64, AdminService: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close(); link.Close() })
+	return &churnBackend{dial: link.Dial}
+}
+
+// TestSoakMembershipChurn keeps a packed workload flowing through a gateway
+// whose membership set is churning the whole time: backends join, drain,
+// resume and leave every few batches. The invariants are the drain
+// contract's — no spi:id is ever lost or duplicated (every call resolves
+// exactly once, with its own payload), failures surface only as the
+// documented fault codes, and the fleet is fully healthy afterwards.
+// Skipped in -short mode.
+func TestSoakMembershipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+
+	var backends []gateway.BackendConfig
+	for i := 0; i < 3; i++ {
+		backends = append(backends, gateway.BackendConfig{
+			Name: fmt.Sprintf("b%d", i), Dial: newChurnBackend(t).dial,
+		})
+	}
+	meta := registry.NewContainer()
+	metaEcho := meta.MustAddService("Echo", "urn:spi:Echo", "metadata only")
+	metaEcho.MustRegister("echo", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return params, nil
+	}, "identity")
+	metaEcho.MarkIdempotent("echo")
+
+	gw, err := gateway.New(gateway.Config{
+		Backends: backends,
+		Policy:   gateway.Weighted,
+		Registry: meta,
+		Membership: gateway.MembershipConfig{
+			Enabled:      true,
+			PollInterval: 20 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwLink := netsim.NewLink(netsim.Fast())
+	glis, err := gwLink.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(glis)
+	t.Cleanup(func() { gw.Close(); gwLink.Close() })
+
+	waitStats := func(what string, cond func(gateway.Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond(gw.Stats()) {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("churn soak: timed out waiting for %s", what)
+	}
+	backendStat := func(st gateway.Stats, name string) (gateway.BackendStats, bool) {
+		for _, bs := range st.Backends {
+			if bs.Name == name {
+				return bs, true
+			}
+		}
+		return gateway.BackendStats{}, false
+	}
+
+	const workers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 256)
+	var delivered, faulted atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cli, err := core.NewClient(core.ClientConfig{Dial: gwLink.Dial, Timeout: 10 * time.Second})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := cli.NewBatch()
+				calls := make([]*core.Call, 8)
+				for i := range calls {
+					calls[i] = b.Add("Echo", "echo", soapenc.F("v", int64(w*1_000_000+iter*1_000+i)))
+				}
+				if err := b.Send(); err != nil {
+					select {
+					case errCh <- fmt.Errorf("worker %d send: %w", w, err):
+					default:
+					}
+					return
+				}
+				for i, call := range calls {
+					want := int64(w*1_000_000 + iter*1_000 + i)
+					results, err := call.Wait()
+					if err != nil {
+						var f *soap.Fault
+						ok := errors.As(err, &f) &&
+							(f.Code == core.FaultCodeBusy || f.Code == core.FaultCodeTimeout || f.Code == core.FaultCodeCancelled)
+						if !ok {
+							select {
+							case errCh <- fmt.Errorf("worker %d call %d failed outside the contract: %w", w, i, err):
+							default:
+							}
+						} else {
+							faulted.Add(1)
+						}
+						continue
+					}
+					if len(results) != 1 || !spi.ValueEqual(results[0].Value, want) {
+						select {
+						case errCh <- fmt.Errorf("worker %d call %d answered with %v, want %d", w, i, results, want):
+						default:
+						}
+						continue
+					}
+					delivered.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// The churn script: every step runs while the workload flows, and at
+	// most one member is out of rotation at a time.
+	rounds := 3
+	joined := 0
+	for r := 0; r < rounds; r++ {
+		// Join a fresh backend.
+		name := fmt.Sprintf("n%d", joined)
+		joined++
+		if err := gw.AddBackend(gateway.BackendConfig{Name: name, Dial: newChurnBackend(t).dial}); err != nil {
+			t.Fatal(err)
+		}
+		waitStats(name+" to take traffic", func(st gateway.Stats) bool {
+			bs, ok := backendStat(st, name)
+			return ok && bs.Exchanges > 0
+		})
+
+		// Drain an original, hold it out, resume it.
+		victim := fmt.Sprintf("b%d", r%3)
+		if err := gw.DrainBackend(victim); err != nil {
+			t.Fatal(err)
+		}
+		waitStats(victim+" drain to complete", func(st gateway.Stats) bool {
+			bs, ok := backendStat(st, victim)
+			return ok && bs.Draining && bs.InFlight == 0
+		})
+		time.Sleep(30 * time.Millisecond)
+		if err := gw.ResumeBackend(victim); err != nil {
+			t.Fatal(err)
+		}
+		waitStats(victim+" to take traffic after resume", func(st gateway.Stats) bool {
+			bs, ok := backendStat(st, victim)
+			return ok && !bs.Draining
+		})
+
+		// Leave: the joined backend is removed again mid-load.
+		if err := gw.RemoveBackend(name); err != nil {
+			t.Fatal(err)
+		}
+		waitStats(name+" to leave the stats", func(st gateway.Stats) bool {
+			_, ok := backendStat(st, name)
+			return !ok && len(st.Backends) == 3
+		})
+	}
+
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	n := 0
+	for err := range errCh {
+		if n < 10 {
+			t.Error(err)
+		}
+		n++
+	}
+	if n > 0 {
+		t.Fatalf("%d contract violations total", n)
+	}
+	if delivered.Load() == 0 {
+		t.Fatal("no calls delivered")
+	}
+
+	// After the churn: a clean batch must fully succeed and the in-flight
+	// gauges must be back to zero.
+	cli, err := core.NewClient(core.ClientConfig{Dial: gwLink.Dial, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	b := cli.NewBatch()
+	calls := make([]*core.Call, 12)
+	for i := range calls {
+		calls[i] = b.Add("Echo", "echo", soapenc.F("v", int64(i)))
+	}
+	if err := b.Send(); err != nil {
+		t.Fatal(err)
+	}
+	for i, call := range calls {
+		results, err := call.Wait()
+		if err != nil {
+			t.Fatalf("clean call %d: %v", i, err)
+		}
+		if len(results) != 1 || !spi.ValueEqual(results[0].Value, int64(i)) {
+			t.Fatalf("clean call %d results = %v", i, results)
+		}
+	}
+	st := gw.Stats()
+	var inflight int64
+	for _, bs := range st.Backends {
+		inflight += bs.InFlight
+	}
+	if inflight != 0 {
+		t.Errorf("in-flight gauge leaked: %d", inflight)
+	}
+	t.Logf("membership churn soak: %d delivered, %d documented faults, drained=%d over %d rounds",
+		delivered.Load(), faulted.Load(), st.Drained, rounds)
 }
