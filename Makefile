@@ -3,13 +3,13 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools race-gateway race-controlplane bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
+.PHONY: check build vet test race race-pools race-gateway race-controlplane race-transport bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
 
 ## check: the full gate — build, vet, race-enabled shuffled tests,
 ## pool-lifecycle tests under -race, the gateway differential/chaos suite
-## under -race, the cluster control-plane tier under -race, the encode-path
-## escape audit, the docs link audit, and the perf-regression gate vs the
-## baseline chain.
+## under -race, the cluster control-plane tier under -race, the transport
+## tier (pipelining + C10k soak) under -race, the encode-path escape audit,
+## the docs link audit, and the perf-regression gate vs the baseline chain.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -17,6 +17,7 @@ check:
 	$(MAKE) race-pools
 	$(MAKE) race-gateway
 	$(MAKE) race-controlplane
+	$(MAKE) race-transport
 	$(MAKE) vet-escapes
 	$(MAKE) docs-check
 	$(MAKE) bench-gate
@@ -59,6 +60,15 @@ race-controlplane:
 		./internal/gateway ./internal/core
 	$(GO) test -race -run='TestSoakMembershipChurn' .
 
+## race-transport: the transport tier under the race detector — server and
+## client pipelining state machines, deadline-wheel timers, the zero-copy
+## passthrough, and the C10k soak (ten thousand pipelined keep-alive
+## connections, every response checked for loss/duplication/cross-wiring).
+race-transport:
+	$(GO) test -race -shuffle=on -count=2 -run='TestServerPipeline|TestClientPipeline|TestPipelined|TestWheel|TestPassthrough|TestShutdownStopsDrainAlarm' \
+		./internal/httpx ./internal/core ./internal/gateway
+	$(GO) test -race -run='TestSoakC10kPipelined' .
+
 ## bench: the paper's experiments as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -73,9 +83,10 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzTokenizer$$' -fuzztime=10s ./internal/xmltext
 	$(GO) test -run='^$$' -fuzz='^FuzzParseEnvelope$$' -fuzztime=10s ./internal/soap
 	$(GO) test -run='^$$' -fuzz='^FuzzReadResponse$$' -fuzztime=10s ./internal/httpx
+	$(GO) test -run='^$$' -fuzz='^FuzzReadRequestStream$$' -fuzztime=10s ./internal/httpx
 	$(GO) test -run='^$$' -fuzz='^FuzzParseStats$$' -fuzztime=10s ./internal/admin
 
-## bench-check: snapshot the key benchmarks to BENCH_pr7.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr8.json (perf guard).
 bench-check:
 	$(GO) run ./cmd/benchcheck
 
@@ -86,7 +97,7 @@ bench-check:
 ## step-function regressions.
 bench-gate:
 	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
-		-baseline BENCH_pr6.json,BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+		-baseline BENCH_pr7.json,BENCH_pr6.json,BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
 
 ## docs-check: fail on broken relative links in README.md and docs/*.md.
 docs-check:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr7.json
+//	benchcheck                 # writes BENCH_pr8.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
 //	benchcheck -baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 10
@@ -79,7 +79,7 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	baseline := flag.String("baseline", "", "comma-separated baseline chain to compare against, first file wins per benchmark (empty disables)")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
@@ -326,6 +326,52 @@ func main() {
 			c.Close()
 		}
 		env.Close()
+	}
+
+	// --- transport tier -----------------------------------------------
+	// The keep-alive row guards the pooled per-connection read buffers:
+	// allocs/op on a steady keep-alive exchange is the number the bufpool
+	// exists to hold down. The scaling rows guard the pipelined fleet path
+	// at 1k and 10k connections — the C10k regime — where any per-exchange
+	// overhead in the pipelined reader/writer loops multiplies by the
+	// connection count.
+	{
+		f, err := bench.NewTransportFleet(1, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		add(measure("transport/keepalive-echo", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f.Echo(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		f.Close()
+	}
+	for _, tc := range []struct {
+		name         string
+		conns, calls int
+	}{
+		{"transport/pipelined-1k-conns", 1024, 4},
+		{"transport/pipelined-10k-conns", 10_000, 2},
+	} {
+		f, err := bench.NewTransportFleet(tc.conns, 8)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		add(measure(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f.Sweep(tc.calls); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		f.Close()
 	}
 
 	report.GoVersion = runtime.Version()

@@ -69,6 +69,8 @@ func main() {
 	poll := flag.Duration("poll", 0, "membership poll period for backend Admin services (0: disabled)")
 	adminFlag := flag.Bool("admin", false, "self-host the gateway's Admin service at /services/Admin")
 	adminWeight := flag.Int("admin-weight", 1, "gateway's initial advertised weight (with -admin)")
+	passthrough := flag.Bool("passthrough", true, "splice single-call envelopes through a backend zero-copy (disabled automatically when -coalesce is set)")
+	pipelineBackends := flag.Int("pipeline-backends", 0, "pipeline up to N exchanges per backend connection (0: one exchange per connection)")
 	flag.Parse()
 
 	if *backendList == "" {
@@ -130,6 +132,8 @@ func main() {
 		ExchangeTimeout:     *exchangeTimeout,
 		MaxIdlePerBackend:   *maxIdle,
 		MaxActivePerBackend: *maxActive,
+		Passthrough:         *passthrough,
+		PipelineBackends:    *pipelineBackends,
 		DebugEndpoints:      *stats,
 		AdminService:        *adminFlag,
 		AdminWeight:         *adminWeight,
@@ -162,6 +166,12 @@ func main() {
 	}
 	if *adminFlag {
 		fmt.Println("spigateway: Admin service at /services/Admin")
+	}
+	if *passthrough && !*coalesce {
+		fmt.Println("spigateway: zero-copy passthrough for single calls")
+	}
+	if *pipelineBackends > 0 {
+		fmt.Printf("spigateway: pipelining up to %d exchanges per backend connection\n", *pipelineBackends)
 	}
 	if *coalesce {
 		fmt.Printf("spigateway: coalescing singles (window %v, max %d entries / %d bytes)\n",

@@ -40,6 +40,9 @@ func main() {
 	wssSecret := flag.String("wss-secret", "", "shared secret for -wss-user")
 	admin := flag.Bool("admin", false, "self-host the Admin control-plane service (GetStats/SetState) at /services/Admin")
 	weight := flag.Int("weight", 1, "initial advertised routing weight (with -admin)")
+	pipeline := flag.Int("pipeline", 8, "per-connection HTTP/1.1 pipelining window (0 or 1: serial)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-request read watchdog on the deadline wheel (0: none)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-response write watchdog on the deadline wheel (0: none)")
 	flag.Parse()
 
 	container := registry.NewContainer()
@@ -55,11 +58,14 @@ func main() {
 	}
 
 	cfg := spi.ServerConfig{
-		Container:    container,
-		AppWorkers:   *appWorkers,
-		Coupled:      *coupled,
-		AdminService: *admin,
-		AdminWeight:  *weight,
+		Container:      container,
+		AppWorkers:     *appWorkers,
+		Coupled:        *coupled,
+		AdminService:   *admin,
+		AdminWeight:    *weight,
+		PipelineWindow: *pipeline,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
 	}
 	if *wssUser != "" {
 		if *wssSecret == "" {

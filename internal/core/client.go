@@ -46,6 +46,15 @@ type ClientConfig struct {
 	// baselines dial per message (false); setting true isolates the
 	// header-overhead component in ablations.
 	KeepAlive bool
+	// Pipeline drives keep-alive connections pipelined: concurrent calls
+	// share a connection (up to PipelineWindow in flight, FIFO responses)
+	// instead of each claiming one. Requires KeepAlive and a server with
+	// pipelining enabled (core ServerConfig.PipelineWindow / httpx
+	// Server.MaxPipeline).
+	Pipeline bool
+	// PipelineWindow caps in-flight exchanges per pipelined connection
+	// (default 8).
+	PipelineWindow int
 	// PathPrefix must match the server's (default "/services/").
 	PathPrefix string
 	// Timeout bounds one HTTP exchange; zero means none.
@@ -133,6 +142,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		http: &httpx.Client{
 			Dial:         cfg.Dial,
 			KeepAlive:    cfg.KeepAlive,
+			Pipeline:     cfg.Pipeline,
+			MaxPerConn:   cfg.PipelineWindow,
 			Timeout:      cfg.Timeout,
 			MaxBodyBytes: cfg.MaxBodyBytes,
 			Tracer:       cfg.Tracer,

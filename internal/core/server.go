@@ -84,6 +84,20 @@ type ServerConfig struct {
 	// MaxBodyBytes caps request bodies; zero means the httpx default.
 	MaxBodyBytes int64
 
+	// PipelineWindow, when > 1, enables HTTP/1.1 pipelining on the
+	// transport: a connection whose client sends back-to-back requests
+	// decodes request N+1 while N executes, with up to PipelineWindow
+	// exchanges in flight per connection and responses written strictly
+	// in request order. 0 or 1 keeps the serial per-connection loop.
+	PipelineWindow int
+	// ReadTimeout bounds reading one full request off a connection;
+	// WriteTimeout bounds writing one full response. Both are enforced as
+	// watchdogs on the shared httpx deadline wheel (coarse 5ms ticks, no
+	// per-request runtime timers); expiry closes the connection. Zero
+	// disables the respective watchdog.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
 	// DifferentialDeserialization enables the §2.2 related-work
 	// server-side optimization ([4]/[11]): repeated byte-identical
 	// request bodies reuse a cached parse instead of re-tokenizing.
@@ -246,6 +260,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.httpSrv = &httpx.Server{
 		Handler:      s.handle,
 		MaxBodyBytes: cfg.MaxBodyBytes,
+		MaxPipeline:  cfg.PipelineWindow,
+		ReadTimeout:  cfg.ReadTimeout,
+		WriteTimeout: cfg.WriteTimeout,
 	}
 	if cfg.AdminService {
 		s.adminState = admin.NewState(int64(cfg.AdminWeight))
@@ -908,7 +925,12 @@ func (s *Server) execute(ctx context.Context, req *rpcRequest, rctx *registry.Co
 	opCtx := ctx
 	var cancel context.CancelFunc
 	if d := s.cfg.OperationTimeout; d > 0 {
-		opCtx, cancel = context.WithTimeout(ctx, d)
+		// The watchdog deadline rides the shared timing wheel: O(1)
+		// schedule/cancel with no runtime-timer churn per operation, at
+		// the cost of firing up to one wheel tick late. The wheel context
+		// yields the same context.DeadlineExceeded/Canceled sentinels, so
+		// fault classification (and its pinned texts) is unchanged.
+		opCtx, cancel = httpx.WheelTimeout(ctx, httpx.DefaultWheel(), d)
 	}
 	invCtx := &frame.inv
 	*invCtx = registry.Context{

@@ -41,6 +41,18 @@ type Config struct {
 	// CoalesceConfig.
 	Coalesce CoalesceConfig
 
+	// Passthrough enables the zero-copy fast path for single-call
+	// envelopes: the request body is spliced to one healthy backend and
+	// the reply spliced back without the gateway parsing the envelope —
+	// header rewrite only, and the backend's response buffer is aliased
+	// straight into the relay (its release is chained to the transport
+	// write). Engages only when Coalesce is off — coalescing needs the
+	// parsed form — and never for packed envelopes (detected by a
+	// conservative byte sniff; false positives just take the parsed
+	// path). Fault replies remain byte-identical either way because the
+	// backend produces exactly the bytes a direct server would.
+	Passthrough bool
+
 	// Retry governs sub-batch failover between backends: a failed
 	// sub-batch is re-sent to another available backend when the failure
 	// class allows it (connect failures and Server.Busy always; other
@@ -62,6 +74,13 @@ type Config struct {
 	// ExchangeTimeout bounds one sub-batch exchange with a backend; zero
 	// means only the client's propagated deadline applies.
 	ExchangeTimeout time.Duration
+	// PipelineBackends, when > 0, drives backend connections pipelined:
+	// up to this many exchanges share one keep-alive connection, FIFO.
+	// Backend servers answer pipelined bursts in order (httpx
+	// Server.MaxPipeline), so pools shrink and sub-batch fan-out stops
+	// queueing on free connections. Zero keeps one exchange per
+	// connection.
+	PipelineBackends int
 	// MaxIdlePerBackend caps each backend's keep-alive pool (default 16).
 	MaxIdlePerBackend int
 	// MaxActivePerBackend bounds concurrent exchanges per backend; zero
@@ -116,14 +135,15 @@ type Gateway struct {
 	adminSrv   *core.Server // self-hosted Admin endpoint; nil unless AdminService
 	adminState *admin.State // nil unless AdminService
 
-	envelopes  metrics.Counter // POSTed envelopes accepted
-	packed     metrics.Counter // of which packed (scattered)
-	proxied    metrics.Counter // of which proxied whole
-	faults     metrics.Counter // whole-message fault responses
-	itemFaults metrics.Counter // per-item faults in packed responses
-	scattered  metrics.Counter // sub-batches sent
-	failovers  metrics.Counter // sub-batches re-sent to another backend
-	degraded   metrics.Counter // slots degraded at the deadline
+	envelopes    metrics.Counter // POSTed envelopes accepted
+	packed       metrics.Counter // of which packed (scattered)
+	proxied      metrics.Counter // of which proxied whole
+	passthroughs metrics.Counter // of the proxied, spliced zero-copy (no envelope parse)
+	faults       metrics.Counter // whole-message fault responses
+	itemFaults   metrics.Counter // per-item faults in packed responses
+	scattered    metrics.Counter // sub-batches sent
+	failovers    metrics.Counter // sub-batches re-sent to another backend
+	degraded     metrics.Counter // slots degraded at the deadline
 
 	coalescer           *coalescer
 	coalesced           metrics.Counter // single calls merged into batches
@@ -244,6 +264,8 @@ func (g *Gateway) newBackend(bc BackendConfig) (*backend, error) {
 			MaxActive:    g.cfg.MaxActivePerBackend,
 			Timeout:      g.cfg.ExchangeTimeout,
 			MaxBodyBytes: g.cfg.MaxBodyBytes,
+			Pipeline:     g.cfg.PipelineBackends > 0,
+			MaxPerConn:   g.cfg.PipelineBackends,
 		},
 	}
 	g.backends = append(g.backends, b)
@@ -359,8 +381,11 @@ type Stats struct {
 	Envelopes  int64
 	Packed     int64
 	Proxied    int64
-	Faults     int64
-	ItemFaults int64
+	// Passthrough counts the subset of Proxied that took the zero-copy
+	// splice path (no envelope parse at the gateway).
+	Passthrough int64
+	Faults      int64
+	ItemFaults  int64
 
 	Scattered int64
 	Failovers int64
@@ -387,16 +412,17 @@ type Stats struct {
 func (g *Gateway) Stats() Stats {
 	now := time.Now()
 	st := Stats{
-		Policy:     g.cfg.Policy.String(),
-		Envelopes:  g.envelopes.Load(),
-		Packed:     g.packed.Load(),
-		Proxied:    g.proxied.Load(),
-		Faults:     g.faults.Load(),
-		ItemFaults: g.itemFaults.Load(),
-		Scattered:  g.scattered.Load(),
-		Failovers:  g.failovers.Load(),
-		Degraded:   g.degraded.Load(),
-		Drained:    g.drained.Load(),
+		Policy:      g.cfg.Policy.String(),
+		Envelopes:   g.envelopes.Load(),
+		Packed:      g.packed.Load(),
+		Proxied:     g.proxied.Load(),
+		Passthrough: g.passthroughs.Load(),
+		Faults:      g.faults.Load(),
+		ItemFaults:  g.itemFaults.Load(),
+		Scattered:   g.scattered.Load(),
+		Failovers:   g.failovers.Load(),
+		Degraded:    g.degraded.Load(),
+		Drained:     g.drained.Load(),
 
 		Coalesced:           g.coalesced.Load(),
 		CoalesceBatches:     g.coalesceBatches.Load(),

@@ -55,6 +55,14 @@ func (g *Gateway) Handle(ctx context.Context, req *httpx.Request) *httpx.Respons
 		ctx = trace.NewContext(ctx, tid)
 	}
 
+	// Zero-copy fast path: a single-call envelope headed for the proxy
+	// path anyway is spliced through a backend without being parsed here.
+	// Packed envelopes (byte sniff) and coalescing deployments fall
+	// through to the parsed path below.
+	if g.passthroughEligible(req) {
+		return g.passthrough(ctx, req)
+	}
+
 	scatterStart := time.Now()
 	sr, fault := core.ParseScatterRequest(req.Body, defaultService)
 	if fault != nil {

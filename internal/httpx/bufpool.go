@@ -51,6 +51,30 @@ func releaseBody(bp *[]byte) {
 	bodyPool.Put(bp)
 }
 
+// connReaderPool recycles the per-connection buffered reader across
+// connections: a 16 KiB bufio.Reader is the single largest allocation a
+// short-lived connection makes, and under the C10k+ regime churned
+// connections would otherwise hammer the allocator with them. serveConn
+// acquires on accept and releases on close; Reset drops the old conn
+// reference so pooled readers never pin dead connections.
+var connReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 16<<10) },
+}
+
+// acquireConnReader returns a pooled 16 KiB reader bound to r.
+func acquireConnReader(r io.Reader) *bufio.Reader {
+	br := connReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// releaseConnReader recycles the reader. The caller must be done with
+// every byte it buffered.
+func releaseConnReader(br *bufio.Reader) {
+	br.Reset(nil)
+	connReaderPool.Put(br)
+}
+
 // ReadRequestPooled parses one request like ReadRequest, drawing the body
 // buffer from the process pool when the body is Content-Length framed and
 // at most maxPooledBody bytes. The returned release func recycles the

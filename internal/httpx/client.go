@@ -61,6 +61,15 @@ type Client struct {
 	MaxActive int
 	// Timeout bounds one full request-response exchange; zero means none.
 	Timeout time.Duration
+	// Pipeline enables HTTP/1.1 pipelining on keep-alive connections: up
+	// to MaxPerConn exchanges share one connection, responses matched
+	// FIFO. Ignored unless KeepAlive is set. A transport error fails every
+	// exchange in flight on that connection; the usual retry-once-on-stale
+	// logic applies per caller. See pipeclient.go.
+	Pipeline bool
+	// MaxPerConn caps in-flight exchanges per pipelined connection
+	// (default 8). Only meaningful with Pipeline.
+	MaxPerConn int
 	// MaxBodyBytes caps response bodies; zero means DefaultMaxBodyBytes.
 	MaxBodyBytes int64
 	// Tracer, when enabled, records one client.send span per exchange
@@ -70,6 +79,7 @@ type Client struct {
 
 	mu       sync.Mutex
 	idle     []*persistConn
+	pipes    []*pipeConn // live pipelined connections (Pipeline mode)
 	closed   bool
 	sem      chan struct{} // lazily sized to MaxActive
 	inflight int
@@ -83,11 +93,18 @@ type PoolStats struct {
 	InFlight int
 }
 
-// PoolStats reports the pool's current occupancy.
+// PoolStats reports the pool's current occupancy. Pipelined connections
+// with no exchange in flight count as idle.
 func (c *Client) PoolStats() PoolStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return PoolStats{Idle: len(c.idle), InFlight: c.inflight}
+	idle := len(c.idle)
+	for _, pc := range c.pipes {
+		if pc.inflight.Load() == 0 {
+			idle++
+		}
+	}
+	return PoolStats{Idle: idle, InFlight: c.inflight}
 }
 
 // acquire claims an exchange slot (when MaxActive bounds the pool) and
@@ -169,6 +186,9 @@ func (c *Client) doCtx(ctx context.Context, req *Request) (*Response, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("httpx: %w", err)
+	}
+	if c.Pipeline && c.KeepAlive {
+		return c.doPipelined(ctx, req)
 	}
 	release, err := c.acquire(ctx)
 	if err != nil {
@@ -297,22 +317,39 @@ func (c *Client) putConn(pc *persistConn) {
 // may later resume must use CloseIdle instead.
 func (c *Client) CloseIdle() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, pc := range c.idle {
 		pc.conn.Close()
 	}
 	c.idle = nil
+	var idlePipes []*pipeConn
+	for _, pc := range c.pipes {
+		if pc.inflight.Load() == 0 {
+			idlePipes = append(idlePipes, pc)
+		}
+	}
+	c.mu.Unlock()
+	// fail re-locks c.mu (removePipeConn), so it runs outside the lock.
+	for _, pc := range idlePipes {
+		pc.fail(errClientClosed)
+	}
 }
 
-// Close drops all pooled connections; in-flight exchanges are unaffected.
+// Close drops all pooled connections; in-flight exchanges are unaffected
+// (pipelined in-flight exchanges fail — their connection is shared state
+// the client owns).
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
 	for _, pc := range c.idle {
 		pc.conn.Close()
 	}
 	c.idle = nil
+	pipes := c.pipes
+	c.pipes = nil
+	c.mu.Unlock()
+	for _, pc := range pipes {
+		pc.fail(errClientClosed)
+	}
 }
 
 // Post is a convenience for POSTing a body with a content type, the only

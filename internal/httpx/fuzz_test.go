@@ -48,3 +48,60 @@ func FuzzReadResponse(f *testing.F) {
 		resp.Release()
 	})
 }
+
+// FuzzReadRequestStream hammers the server-side request parser with the
+// traffic shapes the pipelined read loop sees: back-to-back requests,
+// CRLF/LF-split header lines, partial reads and trailing garbage. The
+// invariants are that parsing never panics, every successfully parsed
+// request re-serializes, and a parse error is terminal for the stream —
+// exactly how servePipelined treats it.
+func FuzzReadRequestStream(f *testing.F) {
+	seeds := []string{
+		"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc",
+		"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcPOST /b HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+		"GET /x HTTP/1.1\r\n\r\nGET /y HTTP/1.1\r\n\r\nGET /z HTTP/1.1\r\n\r\n",
+		"POST /s HTTP/1.1\nContent-Length: 2\n\nhi", // bare-LF line endings
+		"POST /s HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nxyz\r\n0\r\n\r\nPOST /t HTTP/1.1\r\nContent-Length: 1\r\n\r\nq",
+		"POST /s HTTP/1.1\r\nConnection: close\r\nContent-Length: 4\r\n\r\nlast",
+		"POST /s HTTP/1.0\r\nContent-Length: 2\r\n\r\nokGARBAGE AFTER THE LAST REQUEST",
+		"POST /partial HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort",
+		"POST /s HTTP/1.1\r\nContent-Length: 1\r\n\r\naPOST incomplete",
+		"NOT A REQUEST LINE\r\n\r\n",
+		"POST /s HTTP/2\r\n\r\n",
+		"POST /s HTTP/1.1\r\n badname: v\r\n\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxBody = 1 << 16
+		// halfReader forces partial reads so bufio refills mid-message.
+		br := bufio.NewReaderSize(&halfReader{r: bytes.NewReader(data)}, 64)
+		for i := 0; i < 64; i++ {
+			req, release, err := ReadRequestPooled(br, maxBody)
+			if err != nil {
+				return // terminal: the stream is dead from here on
+			}
+			if len(req.Body) > maxBody {
+				t.Fatalf("body exceeds cap: %d", len(req.Body))
+			}
+			var buf bytes.Buffer
+			if werr := WriteRequest(&buf, req, false); werr != nil {
+				t.Fatalf("reserialize: %v", werr)
+			}
+			release()
+		}
+	})
+}
+
+// halfReader yields at most half of what's asked (minimum 1 byte) to
+// exercise refill boundaries inside the parser.
+type halfReader struct{ r *bytes.Reader }
+
+func (h *halfReader) Read(p []byte) (int, error) {
+	n := len(p) / 2
+	if n < 1 {
+		n = 1
+	}
+	return h.r.Read(p[:n])
+}

@@ -1,7 +1,6 @@
 package httpx
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -55,6 +54,15 @@ type Server struct {
 	// Content-Length, in 8 KiB chunks (streaming-shaped traffic, after
 	// Chiu et al. [2]).
 	ChunkedThreshold int
+	// MaxPipeline, when > 1, enables HTTP/1.1 pipelining: if a keep-alive
+	// client sends request N+1 before the response to N is written, the
+	// connection switches to a pipelined loop that decodes ahead and runs
+	// up to MaxPipeline handlers concurrently, emitting responses strictly
+	// in request order. 0 or 1 keeps the serial one-exchange-per-conn
+	// loop. Clients that never pipeline stay on the serial fast path
+	// either way, so enabling this costs them one buffered-byte check per
+	// exchange.
+	MaxPipeline int
 	// AccessLog, if set, observes every completed exchange.
 	AccessLog func(remote net.Addr, req *Request, status int, elapsed time.Duration)
 
@@ -136,21 +144,27 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 		l.Close()
 	}
 
+	// The timeout alarm only exists to wake the drain wait below; stop it
+	// the moment the wait ends (drain done or deadline hit) rather than
+	// leaving it armed through Close's own wait — short-lived servers in
+	// tests shut down thousands of times and must not accumulate pending
+	// timers. Scheduled on the shared wheel so tests can assert exactly
+	// that via Wheel.Pending.
 	deadline := time.Now().Add(timeout)
-	timer := time.AfterFunc(timeout, func() {
+	alarm := DefaultWheel().Schedule(timeout, func() {
 		s.mu.Lock()
 		if s.idleCond != nil {
 			s.idleCond.Broadcast()
 		}
 		s.mu.Unlock()
 	})
-	defer timer.Stop()
 
 	s.mu.Lock()
 	for s.active > 0 && time.Now().Before(deadline) {
 		s.idleCond.Wait()
 	}
 	s.mu.Unlock()
+	alarm.Stop()
 	return s.Close()
 }
 
@@ -192,17 +206,33 @@ func (s *Server) removeConn(c net.Conn) {
 }
 
 // serveConn runs the read-dispatch-write loop for one connection.
+//
+// It starts in the serial one-exchange-at-a-time mode every connection has
+// always had; when pipelining is enabled and the client is observed to
+// pipeline (bytes of request N+1 already buffered when N was parsed), the
+// connection hands off to servePipelined for the rest of its life.
+//
+// Per-request read/write deadlines are watchdogs on the shared timing
+// wheel that close the connection on expiry, replacing the two
+// SetDeadline syscalls-worth of runtime timer traffic per exchange the
+// serial loop used to pay.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.removeConn(conn)
 	defer conn.Close()
 
-	br := bufio.NewReaderSize(conn, 16<<10)
+	br := acquireConnReader(conn)
+	defer releaseConnReader(br)
+
 	for {
+		var readAlarm *WheelTimer
 		if s.ReadTimeout > 0 {
-			_ = conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+			readAlarm = DefaultWheel().Schedule(s.ReadTimeout, func() { conn.Close() })
 		}
 		req, release, err := ReadRequestPooled(br, s.MaxBodyBytes)
+		if readAlarm != nil {
+			readAlarm.Stop()
+		}
 		if err != nil {
 			if err == io.EOF {
 				return // peer closed between requests: normal keep-alive end
@@ -217,6 +247,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 
 		start := time.Now()
+		willClose := s.DisableKeepAlive || wantsClose(req.Proto, &req.Header)
+
+		if !willClose && s.MaxPipeline > 1 && br.Buffered() > 0 {
+			// The peer pipelines: request N+1's bytes arrived before
+			// request N was dispatched. Hand the connection to the
+			// pipelined loop, which owns it until it closes.
+			s.servePipelined(conn, br, req, release, start)
+			return
+		}
+
 		s.mu.Lock()
 		s.active++
 		baseCtx := s.baseCtx
@@ -230,17 +270,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		// peer abandoning the exchange and cancel the handler's context —
 		// "the client gave up" propagated into the dispatcher.
 		reqCtx := baseCtx
-		willClose := s.DisableKeepAlive || wantsClose(req.Proto, &req.Header)
 		var cancelReq context.CancelFunc
+		var watcherDone chan struct{}
 		if willClose {
 			reqCtx, cancelReq = context.WithCancel(baseCtx)
-			_ = conn.SetReadDeadline(time.Time{})
+			watcherDone = make(chan struct{})
 			go func(cancel context.CancelFunc) {
 				// Peek blocks until the peer sends (unexpected) data,
 				// disconnects, or the connection is closed after the
 				// response is written; only a disconnect-style error
-				// cancels. The goroutine exits when the deferred
-				// conn.Close runs at the end of this exchange.
+				// cancels. serveConn joins on watcherDone before its exit
+				// recycles br — the pool must never receive a reader
+				// another goroutine is still blocked in.
+				defer close(watcherDone)
 				if _, err := br.Peek(1); err != nil && !errors.Is(err, os.ErrDeadlineExceeded) {
 					cancel()
 				}
@@ -256,14 +298,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		draining := s.draining
 		s.mu.Unlock()
 		closeAfter := willClose || draining
+		var writeAlarm *WheelTimer
 		if s.WriteTimeout > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+			writeAlarm = DefaultWheel().Schedule(s.WriteTimeout, func() { conn.Close() })
 		}
 		var werr error
 		if s.ChunkedThreshold > 0 && len(resp.Body) >= s.ChunkedThreshold {
 			werr = WriteResponseChunked(conn, resp, closeAfter, 0)
 		} else {
 			werr = WriteResponse(conn, resp, closeAfter)
+		}
+		if writeAlarm != nil {
+			writeAlarm.Stop()
 		}
 
 		s.mu.Lock()
@@ -284,6 +330,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			cancelReq()
 		}
 		if werr != nil || closeAfter {
+			if watcherDone != nil {
+				conn.Close() // unblock the watcher's Peek
+				<-watcherDone
+			}
 			return
 		}
 	}

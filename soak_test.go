@@ -397,3 +397,187 @@ func TestSoakMembershipChurn(t *testing.T) {
 	t.Logf("membership churn soak: %d delivered, %d documented faults, drained=%d over %d rounds",
 		delivered.Load(), faulted.Load(), st.Drained, rounds)
 }
+
+// TestSoakC10kPipelined holds ten thousand pipelined keep-alive
+// connections open against one server and drives concurrent bursts over
+// every one of them at once — the C10k regime the transport tier is built
+// for. Every call carries a globally-unique payload and every packed batch
+// tags its entries with spi:ids, so a lost, duplicated or cross-wired
+// response anywhere in the pipelined read/write loops shows up as a value
+// mismatch or a missing delivery. Skipped in -short mode.
+func TestSoakC10kPipelined(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const (
+		conns        = 10_000
+		callsPerConn = 3
+		dialWave     = 128 // netsim's accept backlog; a real SYN queue bound
+	)
+
+	link := netsim.NewLink(netsim.Fast())
+	lis, err := link.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := registry.NewContainer()
+	echo := c.MustAddService("Echo", "urn:spi:Echo", "soak echo")
+	echo.MustRegister("echo", func(ctx *registry.Context, params []soapenc.Field) ([]soapenc.Field, error) {
+		return params, nil
+	}, "identity")
+	srv, err := core.NewServer(core.ServerConfig{
+		Container: c, AppWorkers: 16, AppQueue: 64 * 1024,
+		PipelineWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close(); link.Close() })
+
+	// Establish the fleet in accept-backlog-sized waves; each client's
+	// first call dials its one pipelined connection, which then stays open
+	// for the rest of the soak.
+	fleet := make([]*core.Client, conns)
+	t.Cleanup(func() {
+		for _, cl := range fleet {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+	})
+	for lo := 0; lo < conns; lo += dialWave {
+		hi := lo + dialWave
+		if hi > conns {
+			hi = conns
+		}
+		var wg sync.WaitGroup
+		errCh := make(chan error, hi-lo)
+		for i := lo; i < hi; i++ {
+			cl, err := core.NewClient(core.ClientConfig{
+				Dial: link.Dial, KeepAlive: true, Timeout: 120 * time.Second,
+				Pipeline: true, PipelineWindow: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fleet[i] = cl
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				want := int64(i)
+				res, err := fleet[i].Call("Echo", "echo", soapenc.F("v", want))
+				if err != nil {
+					errCh <- fmt.Errorf("conn %d warm: %w", i, err)
+					return
+				}
+				if len(res) != 1 || !spi.ValueEqual(res[0].Value, want) {
+					errCh <- fmt.Errorf("conn %d warm answered %v, want %d", i, res, want)
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+
+	// The burst: every connection fires its calls concurrently — tens of
+	// thousands of exchanges in flight across ten thousand pipelined
+	// connections. Every 10th connection sends a packed batch instead, so
+	// the spi:id assembly path rides the same pipelined transport.
+	var delivered atomic.Int64
+	errCh := make(chan error, 256)
+	var wg sync.WaitGroup
+	for i := range fleet {
+		if i%10 == 0 {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				b := fleet[i].NewBatch()
+				calls := make([]*core.Call, 4)
+				for j := range calls {
+					calls[j] = b.Add("Echo", "echo", soapenc.F("v", int64(i*100+j)))
+				}
+				if err := b.Send(); err != nil {
+					select {
+					case errCh <- fmt.Errorf("conn %d batch: %w", i, err):
+					default:
+					}
+					return
+				}
+				for j, call := range calls {
+					want := int64(i*100 + j)
+					res, err := call.Wait()
+					if err != nil {
+						select {
+						case errCh <- fmt.Errorf("conn %d entry %d: %w", i, j, err):
+						default:
+						}
+						continue
+					}
+					if len(res) != 1 || !spi.ValueEqual(res[0].Value, want) {
+						select {
+						case errCh <- fmt.Errorf("conn %d entry %d answered %v, want %d (spi:id cross-wired)", i, j, res, want):
+						default:
+						}
+						continue
+					}
+					delivered.Add(1)
+				}
+			}(i)
+			continue
+		}
+		for j := 0; j < callsPerConn; j++ {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				want := int64(i)*100 + int64(j)
+				res, err := fleet[i].Call("Echo", "echo", soapenc.F("v", want))
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("conn %d call %d: %w", i, j, err):
+					default:
+					}
+					return
+				}
+				if len(res) != 1 || !spi.ValueEqual(res[0].Value, want) {
+					select {
+					case errCh <- fmt.Errorf("conn %d call %d answered %v, want %d (response cross-wired)", i, j, res, want):
+					default:
+					}
+					return
+				}
+				delivered.Add(1)
+			}(i, j)
+		}
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Minute):
+		t.Fatal("C10k soak deadlocked")
+	}
+	close(errCh)
+	n := 0
+	for err := range errCh {
+		if n < 10 {
+			t.Error(err)
+		}
+		n++
+	}
+	if n > 0 {
+		t.Fatalf("%d violations total", n)
+	}
+	batches := (conns + 9) / 10
+	want := int64(batches*4 + (conns-batches)*callsPerConn)
+	if got := delivered.Load(); got != want {
+		t.Fatalf("delivered %d results, want %d: responses lost or duplicated", got, want)
+	}
+	if st := srv.Stats(); st.Faults != 0 {
+		t.Errorf("server produced %d faults during clean soak", st.Faults)
+	}
+	t.Logf("C10k soak: %d connections, %d results delivered", conns, delivered.Load())
+}
