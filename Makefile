@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools race-gateway race-controlplane race-transport bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
+.PHONY: check build vet test race race-pools race-gateway race-controlplane race-transport race-streamfeatures bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
 
 ## check: the full gate — build, vet, race-enabled shuffled tests,
 ## pool-lifecycle tests under -race, the gateway differential/chaos suite
 ## under -race, the cluster control-plane tier under -race, the transport
-## tier (pipelining + C10k soak) under -race, the encode-path escape audit,
-## the docs link audit, and the perf-regression gate vs the baseline chain.
+## tier (pipelining + C10k soak) under -race, the unified-fast-path parity
+## suite under -race, the encode-path escape audit, the docs link audit,
+## and the perf-regression gate vs the baseline chain.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -18,6 +19,7 @@ check:
 	$(MAKE) race-gateway
 	$(MAKE) race-controlplane
 	$(MAKE) race-transport
+	$(MAKE) race-streamfeatures
 	$(MAKE) vet-escapes
 	$(MAKE) docs-check
 	$(MAKE) bench-gate
@@ -69,6 +71,16 @@ race-transport:
 		./internal/httpx ./internal/core ./internal/gateway
 	$(GO) test -race -run='TestSoakC10kPipelined' .
 
+## race-streamfeatures: the unified fast path under the race detector —
+## streamed-vs-buffered byte parity across WSSE × differential cache ×
+## entry interceptors, the concurrent WSSE verification goroutine, the
+## sharded LRU, and the tamper-rejection property. Extra runs because the
+## verify goroutine races entry dispatch by design.
+race-streamfeatures:
+	$(GO) test -race -count=2 \
+		-run='TestUnifiedFastPathParity|TestStreamedWSSERejectsTamper|TestStreamResponseParity|TestDifferentialDeserialization|TestDiffCacheLRU|TestStreamPathActive' \
+		./internal/core
+
 ## bench: the paper's experiments as testing.B benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -85,8 +97,9 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadResponse$$' -fuzztime=10s ./internal/httpx
 	$(GO) test -run='^$$' -fuzz='^FuzzReadRequestStream$$' -fuzztime=10s ./internal/httpx
 	$(GO) test -run='^$$' -fuzz='^FuzzParseStats$$' -fuzztime=10s ./internal/admin
+	$(GO) test -run='^$$' -fuzz='^FuzzDiffSubtree$$' -fuzztime=10s ./internal/core
 
-## bench-check: snapshot the key benchmarks to BENCH_pr8.json (perf guard).
+## bench-check: snapshot the key benchmarks to BENCH_pr9.json (perf guard).
 bench-check:
 	$(GO) run ./cmd/benchcheck
 
@@ -97,7 +110,7 @@ bench-check:
 ## step-function regressions.
 bench-gate:
 	$(GO) run ./cmd/benchcheck -benchtime 200ms -out /tmp/benchgate.json \
-		-baseline BENCH_pr7.json,BENCH_pr6.json,BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
+		-baseline BENCH_pr8.json,BENCH_pr7.json,BENCH_pr6.json,BENCH_pr5.json,BENCH_pr4.json,BENCH_pr3.json,BENCH_pr2.json -tolerance 35
 
 ## docs-check: fail on broken relative links in README.md and docs/*.md.
 docs-check:

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchcheck                 # writes BENCH_pr8.json
+//	benchcheck                 # writes BENCH_pr9.json
 //	benchcheck -out FILE.json  # custom path
 //	benchcheck -benchtime 2s   # more stable numbers (default 1s)
 //	benchcheck -baseline BENCH_pr3.json,BENCH_pr2.json -tolerance 10
@@ -79,7 +79,7 @@ func measure(name string, fn func(b *testing.B)) Result {
 
 func main() {
 	testing.Init() // registers test.benchtime before we touch it
-	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	baseline := flag.String("baseline", "", "comma-separated baseline chain to compare against, first file wins per benchmark (empty disables)")
 	tolerance := flag.Float64("tolerance", 10, "allowed regression percent vs the baseline")
@@ -154,6 +154,23 @@ func main() {
 			}
 		}
 	}))
+	add(measure("msgcache/render-to-hit", func(b *testing.B) {
+		// The zero-alloc form: splice onto a pooled emitter instead of
+		// returning a fresh byte slice. allocs/op here must stay 0.
+		c := msgcache.New()
+		params := []soapenc.Field{soapenc.F("message", "hello"), soapenc.F("count", int32(3))}
+		if _, ok, err := c.Render("Echo", "urn:spi:Echo", "echo", params); err != nil || !ok {
+			b.Fatalf("prime: ok=%v err=%v", ok, err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			em := xmltext.AcquireEmitter()
+			if ok, err := c.RenderTo(em, "Echo", "urn:spi:Echo", "echo", params); err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+			xmltext.ReleaseEmitter(em)
+		}
+	}))
 	add(measure("trace/record-nil", func(b *testing.B) {
 		var tr *trace.Tracer
 		b.ReportAllocs()
@@ -174,8 +191,8 @@ func main() {
 
 	// --- end-to-end hot paths -----------------------------------------
 	arg := soapenc.F("data", strings.Repeat("a", 10))
-	endToEnd := func(name string, tracer *trace.Tracer, packed bool) {
-		env, err := bench.NewEnv(bench.EnvOptions{Tracer: tracer})
+	endToEnd := func(name string, opts bench.EnvOptions, packed bool) {
+		env, err := bench.NewEnv(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(1)
@@ -199,9 +216,13 @@ func main() {
 			}
 		}))
 	}
-	endToEnd("e2e/serial-echo", nil, false)
-	endToEnd("e2e/packed-echo-16", nil, true)
-	endToEnd("e2e/packed-echo-16-traced", trace.New(8192), true)
+	endToEnd("e2e/serial-echo", bench.EnvOptions{}, false)
+	endToEnd("e2e/packed-echo-16", bench.EnvOptions{}, true)
+	endToEnd("e2e/packed-echo-16-traced", bench.EnvOptions{Tracer: trace.New(8192)}, true)
+	// The unified-fast-path row: WS-Security verification plus the
+	// differential cache, both riding the streaming path. The gap to bare
+	// e2e/packed-echo-16 is the price of those features per batch.
+	endToEnd("e2e/packed-echo-16-wsse-diff", bench.EnvOptions{WSSecurity: true, DiffDeserialization: true}, true)
 
 	// --- gateway scatter–gather ---------------------------------------
 	gatewayE2E := func(name string, backends int) {

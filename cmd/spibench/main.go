@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which experiment: 5, 6, 7, wss, wan, travel, throughput, breakdown, trace, micro, related, ablation, faults, gateway, coalesce, controlplane, transport, all")
+	fig := flag.String("fig", "all", "which experiment: 5, 6, 7, wss, wan, travel, throughput, breakdown, trace, micro, related, ablation, faults, gateway, coalesce, controlplane, transport, unified, all")
 	reps := flag.Int("reps", 5, "repetitions per measured point")
 	mlist := flag.String("m", "", "comma-separated M values (default: the paper's 1,2,4,...,128)")
 	flag.Parse()
@@ -203,8 +203,16 @@ func main() {
 		bench.PrintAblation(os.Stdout, r)
 		ran = true
 	}
+	if run("unified") {
+		r, err := bench.RunUnifiedFastPath(*reps)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintAblation(os.Stdout, r)
+		ran = true
+	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "spibench: unknown -fig %q (want 5, 6, 7, wss, travel, related, ablation, faults, gateway, coalesce, controlplane, transport or all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "spibench: unknown -fig %q (want 5, 6, 7, wss, travel, related, ablation, faults, gateway, coalesce, controlplane, transport, unified or all)\n", *fig)
 		os.Exit(2)
 	}
 }

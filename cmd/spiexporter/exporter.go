@@ -151,6 +151,8 @@ func (e *exporter) renderMetrics() []byte {
 	packed := &metricFamily{name: "spi_packed_total", help: "packed envelopes handled", typ: "counter"}
 	faults := &metricFamily{name: "spi_faults_total", help: "whole-message faults produced", typ: "counter"}
 	itemFaults := &metricFamily{name: "spi_item_faults_total", help: "per-item faults in packed responses", typ: "counter"}
+	diffHits := &metricFamily{name: "spi_diff_hits_total", help: "differential-deserialization cache hits", typ: "counter"}
+	diffMisses := &metricFamily{name: "spi_diff_misses_total", help: "differential-deserialization cache misses", typ: "counter"}
 	opCount := &metricFamily{name: "spi_op_count_total", help: "operation executions", typ: "counter"}
 	opLatency := &metricFamily{name: "spi_op_latency_microseconds", help: "operation execution latency quantiles", typ: "summary"}
 	opMean := &metricFamily{name: "spi_op_latency_mean_microseconds", help: "mean operation execution latency", typ: "gauge"}
@@ -177,6 +179,8 @@ func (e *exporter) renderMetrics() []byte {
 		packed.add(nl, st.Packed)
 		faults.add(nl, st.Faults)
 		itemFaults.add(nl, st.ItemFaults)
+		diffHits.add(nl, st.DiffHits)
+		diffMisses.add(nl, st.DiffMisses)
 		for _, op := range st.Ops {
 			ol := nl + fmt.Sprintf(",op=%q", op.Op)
 			opCount.add(ol, op.Count)
@@ -191,7 +195,7 @@ func (e *exporter) renderMetrics() []byte {
 	for _, f := range []*metricFamily{
 		up, weight, draining, workers, busy, idle, queueDepth, queueCap,
 		inflight, envelopes, requests, packed, faults, itemFaults,
-		opCount, opLatency, opMean,
+		diffHits, diffMisses, opCount, opLatency, opMean,
 	} {
 		if len(f.samples) == 0 {
 			continue

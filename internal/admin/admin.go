@@ -82,6 +82,10 @@ type Stats struct {
 	Packed     int64 `json:"packed"`
 	Faults     int64 `json:"faults"`
 	ItemFaults int64 `json:"item_faults"`
+	// DiffHits and DiffMisses count differential-deserialization cache
+	// lookups (zero when the cache is disabled).
+	DiffHits   int64 `json:"diff_hits"`
+	DiffMisses int64 `json:"diff_misses"`
 
 	// Ops holds per-operation latency digests, sorted by name.
 	Ops []OpStat `json:"ops,omitempty"`

@@ -41,6 +41,8 @@ func StatsFields(s Stats) []soapenc.Field {
 		soapenc.F("packed", s.Packed),
 		soapenc.F("faults", s.Faults),
 		soapenc.F("item_faults", s.ItemFaults),
+		soapenc.F("diff_hits", s.DiffHits),
+		soapenc.F("diff_misses", s.DiffMisses),
 		soapenc.F("ops", ops),
 	}
 }
@@ -126,6 +128,14 @@ func StatsFromFields(params []soapenc.Field) (Stats, error) {
 			}
 		case "item_faults":
 			if err := statInt(p.Name, p.Value, &s.ItemFaults); err != nil {
+				return Stats{}, err
+			}
+		case "diff_hits":
+			if err := statInt(p.Name, p.Value, &s.DiffHits); err != nil {
+				return Stats{}, err
+			}
+		case "diff_misses":
+			if err := statInt(p.Name, p.Value, &s.DiffMisses); err != nil {
 				return Stats{}, err
 			}
 		case "ops":

@@ -1,0 +1,57 @@
+package bench
+
+import "fmt"
+
+// RunUnifiedFastPath prices the re-unified streaming path (PR 9): before it,
+// enabling WS-Security or differential deserialization silently dropped the
+// server onto buffered full-tree dispatch; now both stream, and only the
+// explicit BufferedDispatch opt-out (or a whole-tree Interceptor) buffers.
+// The experiment runs the packed M=16 echo workload — the acceptance
+// workload of the change — through each feature combination on the
+// streaming path and through the buffered opt-out, so the table shows both
+// what the features cost on the fast path (target: WSSE+diff within ~1.15×
+// of bare streaming) and what falling off it would cost.
+func RunUnifiedFastPath(reps int) (*AblationResult, error) {
+	if reps <= 0 {
+		reps = 5
+	}
+	const m = 16
+	payload := "aaaaaaaaaa" // 10 B, the Figure 5 regime
+	result := &AblationResult{Title: fmt.Sprintf(
+		"Unified fast path: packed echo (M=%d, 10 B payloads), streaming vs buffered opt-out", m)}
+
+	type variant struct {
+		name string
+		opt  EnvOptions
+		note string
+	}
+	variants := []variant{
+		{"streaming, bare", EnvOptions{},
+			"the fast path, no features"},
+		{"streaming + diff deser", EnvOptions{DiffDeserialization: true},
+			"per-entry subtree cache, hits skip tokenizing"},
+		{"streaming + WSSE", EnvOptions{WSSecurity: true},
+			"signature verified concurrently with dispatch"},
+		{"streaming + WSSE + diff", EnvOptions{WSSecurity: true, DiffDeserialization: true},
+			"both features, still streaming (was: buffered)"},
+		{"buffered opt-out + WSSE + diff", EnvOptions{
+			WSSecurity: true, DiffDeserialization: true, BufferedDispatch: true},
+			"the old fallback path, for comparison"},
+	}
+
+	for _, v := range variants {
+		env, err := NewEnv(v.opt)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := measure(1, reps, func() error {
+			return packedRun(env.Client, m, payload)
+		})
+		env.Close()
+		if err != nil {
+			return nil, err
+		}
+		result.Rows = append(result.Rows, AblationRow{Name: v.name, Millis: ms, Note: v.note})
+	}
+	return result, nil
+}

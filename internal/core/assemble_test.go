@@ -225,13 +225,13 @@ func TestStreamRequestDocParity(t *testing.T) {
 }
 
 // TestStreamResponseParityE2E posts identical packed requests to a streaming
-// server and to a buffered one (streaming disabled via a header processor)
+// server and to a buffered one (streaming disabled via BufferedDispatch)
 // and requires byte-identical responses — including per-item faults, slow
 // entries that force the reorder window to park, and spi:id overrides.
 func TestStreamResponseParityE2E(t *testing.T) {
 	streamed := newSystem(t, nil)
 	buffered := newSystem(t, func(s *ServerConfig, _ *ClientConfig) {
-		s.HeaderProcessors = []HeaderProcessor{nopHeaderProcessor{}}
+		s.BufferedDispatch = true
 	})
 	if !streamed.server.canStream() {
 		t.Fatal("streamed system not on the streaming path")

@@ -18,6 +18,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/wsdl"
 	"repro/internal/xmldom"
+	"repro/internal/xmltext"
 )
 
 // HeaderDeadline is the HTTP request header that propagates the client's
@@ -303,13 +304,16 @@ func (c *Client) callOnce(ctx context.Context, service, op string, params []soap
 	var err error
 	if c.templates != nil {
 		// Template-cache fast path: splice values into the cached
-		// serialized envelope, skipping DOM construction entirely.
+		// serialized envelope on a pooled emitter, skipping DOM
+		// construction and the render copy entirely.
 		var packStart time.Time
 		if tr.Enabled() {
 			packStart = time.Now()
 		}
-		doc, ok, terr := c.templates.Render(service, c.NamespaceOf(service), op, params)
+		em := xmltext.AcquireEmitter()
+		ok, terr := c.templates.RenderTo(em, service, c.NamespaceOf(service), op, params)
 		if terr != nil {
+			xmltext.ReleaseEmitter(em)
 			return nil, fmt.Errorf("core: template for %s.%s: %w", service, op, terr)
 		}
 		if ok {
@@ -317,8 +321,10 @@ func (c *Client) callOnce(ctx context.Context, service, op string, params []soap
 				tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageClientPack,
 					ID: -1, Op: service + "." + op, Start: packStart, Service: time.Since(packStart)})
 			}
-			respEnv, release, err = c.postPooled(ctx, target, doc)
+			respEnv, release, err = c.postPooled(ctx, target, em.Bytes())
+			xmltext.ReleaseEmitter(em)
 		} else {
+			xmltext.ReleaseEmitter(em)
 			respEnv, release, err = c.exchangeCall(ctx, target, service, op, params)
 		}
 	} else {

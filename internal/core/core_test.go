@@ -799,7 +799,8 @@ func TestDifferentialDeserialization(t *testing.T) {
 	if st.DiffHits != 3 || st.DiffMisses != 2 {
 		t.Errorf("diff stats = hits %d misses %d, want 3/2", st.DiffHits, st.DiffMisses)
 	}
-	// Packed repeats hit too.
+	// Packed repeats hit too — per entry: the first batch misses on both
+	// of its children, the repeat hits on both.
 	for i := 0; i < 2; i++ {
 		b := sys.client.NewBatch()
 		c1 := b.Add("Echo", "echo", soapenc.F("data", "packed"))
@@ -815,26 +816,37 @@ func TestDifferentialDeserialization(t *testing.T) {
 		}
 	}
 	st = sys.server.Stats()
-	if st.DiffHits != 4 {
-		t.Errorf("diff hits after packed repeats = %d, want 4", st.DiffHits)
+	if st.DiffHits != 5 || st.DiffMisses != 4 {
+		t.Errorf("diff stats after packed repeats = hits %d misses %d, want 5/4", st.DiffHits, st.DiffMisses)
 	}
 }
 
-func TestDiffCacheEviction(t *testing.T) {
-	sys := newSystem(t, func(s *ServerConfig, c *ClientConfig) {
-		s.DifferentialDeserialization = true
-		s.DiffCacheSize = 2
-	})
-	// Three distinct messages with capacity 2: the first is evicted, so
-	// repeating it misses again.
-	for _, msg := range []string{"a", "b", "c", "a"} {
-		if _, err := sys.client.Call("Echo", "echo", soapenc.F("data", msg)); err != nil {
-			t.Fatal(err)
-		}
+// TestDiffCacheLRU pins the store's recency behaviour deterministically by
+// driving one shard directly: keys share a first byte, so with capacity 16
+// (two slots per shard) the shard holds two entries, and a lookup refreshes
+// recency — FIFO would evict the older insert, LRU evicts the unused one.
+func TestDiffCacheLRU(t *testing.T) {
+	d := newDiffCache(16)
+	key := func(b byte) (k [32]byte) { k[1] = b; return }
+	tree := xmldom.NewElement(xmltext.Name{Local: "x"})
+	d.insert(key(1), tree)
+	d.insert(key(2), tree)
+	if d.lookup(key(1)) == nil {
+		t.Fatal("key 1 missing after insert")
 	}
-	st := sys.server.Stats()
-	if st.DiffMisses != 4 || st.DiffHits != 0 {
-		t.Errorf("diff stats = hits %d misses %d, want 0/4 (FIFO eviction)", st.DiffHits, st.DiffMisses)
+	d.insert(key(3), tree) // shard full: must evict key 2, the LRU
+	if d.lookup(key(2)) != nil {
+		t.Error("key 2 survived eviction (FIFO order, want LRU)")
+	}
+	if d.lookup(key(1)) == nil {
+		t.Error("key 1 evicted despite being recently used")
+	}
+	if d.lookup(key(3)) == nil {
+		t.Error("key 3 missing after insert")
+	}
+	hits, misses := d.stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("stats = hits %d misses %d, want 3/1", hits, misses)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/soap"
 	"repro/internal/xmldom"
@@ -18,48 +19,165 @@ import (
 // Where [4] checkpoints parser state to skip the unchanged prefix of a
 // similar message, this implementation takes the limiting (and very
 // common in benchmarks and polling workloads) case of byte-identical
-// messages: the parsed document of each recently-seen request is kept,
-// keyed by a hash of the raw body, and a hit deep-clones the cached tree
-// instead of re-tokenizing — the same externally-observable effect with a
-// much simpler mechanism. Like the original, it is orthogonal to packing:
-// it cuts per-message CPU, not the number of messages.
+// subtrees. Two granularities share one store:
+//
+//   - per-entry (streaming path): each body subtree — a Parallel_Method
+//     child, or a single call's entry — is keyed by a hash of its raw span
+//     mixed with the ancestor start tags that govern its namespace
+//     resolution. A packed message with 60 repeated entries and 4 novel
+//     ones re-parses only the 4; hits clone the cached subtree into the
+//     request arena without tokenizing the span at all.
+//   - whole-body (buffered opt-out path): the parsed document of each
+//     recently-seen request, keyed by a hash of the full raw body.
+//
+// Cached trees are immutable once stored, so hits clone them outside any
+// critical section; the store itself is an LRU sharded eight ways by key
+// byte, keeping the lock hold time to a map probe and two list splices.
+// Like the original, the cache is orthogonal to packing: it cuts
+// per-message CPU, not the number of messages.
 type diffCache struct {
+	shards [diffShards]diffShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+const diffShards = 8
+
+type diffShard struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[[sha256.Size]byte]*xmldom.Element
-	order   [][sha256.Size]byte // FIFO eviction
-	hits    int64
-	misses  int64
+	entries map[[sha256.Size]byte]*diffEntry
+	// Intrusive LRU list: head is most recent, tail next to evict.
+	head, tail *diffEntry
+}
+
+type diffEntry struct {
+	key        [sha256.Size]byte
+	tree       *xmldom.Element // immutable once stored
+	prev, next *diffEntry
 }
 
 func newDiffCache(capacity int) *diffCache {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &diffCache{
-		cap:     capacity,
-		entries: make(map[[sha256.Size]byte]*xmldom.Element, capacity),
+	perShard := (capacity + diffShards - 1) / diffShards
+	d := &diffCache{}
+	for i := range d.shards {
+		d.shards[i].cap = perShard
+		d.shards[i].entries = make(map[[sha256.Size]byte]*diffEntry, perShard)
+	}
+	return d
+}
+
+func (d *diffCache) shard(key [sha256.Size]byte) *diffShard {
+	return &d.shards[key[0]%diffShards]
+}
+
+// lookup returns the cached immutable tree for key, or nil. The caller
+// clones it outside the lock (into an arena on the streaming path).
+func (d *diffCache) lookup(key [sha256.Size]byte) *xmldom.Element {
+	s := d.shard(key)
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		s.mu.Unlock()
+		d.misses.Add(1)
+		return nil
+	}
+	s.moveToFront(e)
+	tree := e.tree
+	s.mu.Unlock()
+	d.hits.Add(1)
+	return tree
+}
+
+// insert stores tree — which must never be mutated again — under key,
+// evicting the least recently used entry of the shard when full.
+func (d *diffCache) insert(key [sha256.Size]byte, tree *xmldom.Element) {
+	s := d.shard(key)
+	s.mu.Lock()
+	if _, dup := s.entries[key]; !dup {
+		if len(s.entries) >= s.cap {
+			if lru := s.tail; lru != nil {
+				s.unlink(lru)
+				delete(s.entries, lru.key)
+			}
+		}
+		e := &diffEntry{key: key, tree: tree}
+		s.entries[key] = e
+		s.pushFront(e)
+	}
+	s.mu.Unlock()
+}
+
+func (s *diffShard) pushFront(e *diffEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
 	}
 }
 
-// decode parses body, consulting the cache. The returned envelope is
-// always private to the caller (a clone on hits), since dispatch mutates
-// the tree.
+func (s *diffShard) unlink(e *diffEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *diffShard) moveToFront(e *diffEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// subtreeKey derives the cache key for one raw subtree span. ctxSum is the
+// digest of the ancestor start tags (envelope root, Body, and the packed
+// entry for per-child spans) — mixing it in guarantees byte-identical
+// spans under different namespace declarations never share an entry.
+func subtreeKey(ctxSum [sha256.Size]byte, raw []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(ctxSum[:])
+	h.Write(raw)
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// contextSum digests the ancestor start tags for subtreeKey.
+func contextSum(tags ...[]byte) [sha256.Size]byte {
+	h := sha256.New()
+	for _, t := range tags {
+		h.Write(t)
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// decode parses body, consulting the cache at whole-body granularity —
+// the buffered dispatch path, which holds the complete raw body anyway.
+// The returned envelope is always private to the caller (a clone on
+// hits), since dispatch mutates the tree.
 func (d *diffCache) decode(body []byte) (*soap.Envelope, error) {
 	key := sha256.Sum256(body)
-
-	d.mu.Lock()
-	root := d.entries[key]
-	if root != nil {
-		d.hits++
-		// Clone while holding the lock: eviction could otherwise race
-		// with cloning. The tree is small relative to the lock scope.
-		root = root.Clone()
-		d.mu.Unlock()
-		return soap.FromElement(root)
+	if root := d.lookup(key); root != nil {
+		return soap.FromElement(root.Clone())
 	}
-	d.misses++
-	d.mu.Unlock()
 
 	parsed, err := xmldom.Parse(bytes.NewReader(body))
 	if err != nil {
@@ -71,23 +189,11 @@ func (d *diffCache) decode(body []byte) (*soap.Envelope, error) {
 	}
 
 	// Store a pristine copy: the caller's tree gets mutated by dispatch.
-	d.mu.Lock()
-	if _, dup := d.entries[key]; !dup {
-		if len(d.order) >= d.cap {
-			oldest := d.order[0]
-			d.order = d.order[1:]
-			delete(d.entries, oldest)
-		}
-		d.entries[key] = parsed.Clone()
-		d.order = append(d.order, key)
-	}
-	d.mu.Unlock()
+	d.insert(key, parsed.Clone())
 	return env, nil
 }
 
 // stats returns (hits, misses).
 func (d *diffCache) stats() (int64, int64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.hits, d.misses
+	return d.hits.Load(), d.misses.Load()
 }

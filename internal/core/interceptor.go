@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/soap"
+	"repro/internal/xmldom"
 )
 
 // The interceptor chain mirrors the architecture the paper built on:
@@ -45,4 +46,79 @@ func buildChain(interceptors []Interceptor, info *RequestInfo, terminal Dispatch
 		}
 	}
 	return next
+}
+
+// EntryInfo describes one body entry as an EntryInterceptor sees it.
+type EntryInfo struct {
+	// Target is the HTTP request target, e.g. "/services/Echo".
+	Target string
+	// DefaultService is the service addressed by the URL ("" on the pack
+	// endpoint).
+	DefaultService string
+	// Version is the request's SOAP version.
+	Version soap.Version
+	// Index is the entry's position: the i-th child of a Parallel_Method,
+	// or 0 for a single call.
+	Index int
+	// Packed reports whether the entry arrived inside a Parallel_Method.
+	Packed bool
+}
+
+// EntryInterceptor is the entry-granular interceptor hook: it runs once
+// per packed entry (and once for a single call) on both dispatch paths,
+// which is what lets it ride the streaming fast path — each entry is
+// intercepted as its subtree closes, before the rest of the envelope has
+// even been parsed. It may inspect the entry, replace it (return a
+// non-nil element), or reject it with a fault: for a packed entry the
+// fault becomes that entry's per-item fault, for a single call the
+// message fault. Unlike Interceptor it never sees the whole envelope and
+// has no response-side hook; interceptors that need either keep the
+// legacy type and the buffered path.
+type EntryInterceptor func(entry *xmldom.Element, info *EntryInfo) (*xmldom.Element, *soap.Fault)
+
+// EntrySafe adapts a legacy whole-envelope Interceptor onto the
+// entry-granular hook, for interceptors that declare themselves
+// entry-safe: they act only on the request side (inspect, rewrite,
+// meter, reject) and treat each body entry independently. The adapter
+// presents each entry as a synthetic single-entry envelope; whatever the
+// interceptor passes to next becomes the (possibly rewritten) entry, and
+// next echoes the request envelope back so request-side post-processing
+// still runs. Response rewriting and short-circuit responses are outside
+// the entry-safe contract: a short-circuit response is discarded (the
+// original entry proceeds), and only a fault short-circuits dispatch.
+func EntrySafe(ic Interceptor) EntryInterceptor {
+	return func(entry *xmldom.Element, info *EntryInfo) (*xmldom.Element, *soap.Fault) {
+		env := &soap.Envelope{Version: info.Version, Body: []*xmldom.Element{entry}}
+		rinfo := &RequestInfo{Target: info.Target, DefaultService: info.DefaultService, Version: info.Version}
+		var repl *xmldom.Element
+		next := func(env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
+			if len(env.Body) > 0 {
+				repl = env.Body[0]
+			}
+			return env, nil
+		}
+		if _, fault := ic(env, rinfo, next); fault != nil {
+			return nil, fault
+		}
+		if repl == entry {
+			return nil, nil
+		}
+		return repl, nil
+	}
+}
+
+// runEntryInterceptors applies the configured entry interceptors in
+// order, threading replacements through. On fault the entry is returned
+// unchanged alongside it.
+func runEntryInterceptors(ics []EntryInterceptor, entry *xmldom.Element, info *EntryInfo) (*xmldom.Element, *soap.Fault) {
+	for _, ic := range ics {
+		repl, fault := ic(entry, info)
+		if fault != nil {
+			return entry, fault
+		}
+		if repl != nil {
+			entry = repl
+		}
+	}
+	return entry, nil
 }

@@ -78,8 +78,25 @@ type ServerConfig struct {
 	// Interceptors wrap envelope dispatch, first entry outermost — the
 	// Axis handler-chain architecture the paper's implementation plugged
 	// into (§3.6). They run after header processing, around the
-	// pack/plan/single dispatcher.
+	// pack/plan/single dispatcher. Because they see (and may rewrite) the
+	// whole envelope, configuring any forces the buffered dispatch path;
+	// entry-safe interceptors should use EntryInterceptors (or the
+	// EntrySafe adapter) to keep the streaming fast path.
 	Interceptors []Interceptor
+
+	// EntryInterceptors run once per body entry — each Parallel_Method
+	// child, or the single call — on both dispatch paths, first entry
+	// outermost. Unlike Interceptors they do not gate the streaming fast
+	// path: each entry is intercepted as its subtree closes. A fault from
+	// one becomes the entry's per-item fault inside a packed response (the
+	// message fault for a single call).
+	EntryInterceptors []EntryInterceptor
+
+	// BufferedDispatch forces the buffered (parse-whole-envelope) dispatch
+	// path even when the streaming path could serve the request — the
+	// explicit opt-out for deployments that need whole-tree envelope
+	// inspection without configuring an Interceptor.
+	BufferedDispatch bool
 
 	// MaxBodyBytes caps request bodies; zero means the httpx default.
 	MaxBodyBytes int64
@@ -295,6 +312,8 @@ func (s *Server) AdminStats() admin.Stats {
 		Packed:     st.PackedMessages,
 		Faults:     st.Faults,
 		ItemFaults: st.ItemFaults,
+		DiffHits:   st.DiffHits,
+		DiffMisses: st.DiffMisses,
 	}
 	if out.Idle = out.Workers - out.Busy; out.Idle < 0 {
 		out.Idle = 0
@@ -475,7 +494,7 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 	}
 	s.envelopes.Add(1)
 
-	if fault := s.processHeaders(env); fault != nil {
+	if fault := s.processHeaders(env, req.Body); fault != nil {
 		return s.faultResponse(fault, env.Version)
 	}
 
@@ -500,7 +519,7 @@ func (s *Server) handle(ctx context.Context, req *httpx.Request) *httpx.Response
 
 	dispatchStart := time.Now()
 	dispatcher := func(env *soap.Envelope) (*soap.Envelope, *soap.Fault) {
-		return s.dispatch(ctx, env, defaultService)
+		return s.dispatch(ctx, env, defaultService, req.Target)
 	}
 	if len(s.cfg.Interceptors) > 0 {
 		info := &RequestInfo{Target: req.Target, DefaultService: defaultService, Version: env.Version}
@@ -632,14 +651,30 @@ func (s *Server) serviceFromPath(target string) (string, bool) {
 	return name, true
 }
 
-// processHeaders runs header processors and enforces mustUnderstand: a
-// mustUnderstand block nobody recognises is a MustUnderstand fault, per
-// SOAP 1.1 §4.2.3.
-func (s *Server) processHeaders(env *soap.Envelope) *soap.Fault {
+// processHeaders runs header processors and enforces mustUnderstand on the
+// buffered path. raw is the request document; the canonical body handed to
+// processors is the verbatim spans of its body entries, scanned from raw —
+// the same bytes the streaming path tees out of its decoder, so signature
+// verification covers identical input no matter which path served the
+// request.
+func (s *Server) processHeaders(env *soap.Envelope, raw []byte) *soap.Fault {
 	var bodyBytes []byte
 	if len(s.cfg.HeaderProcessors) > 0 {
-		bodyBytes = canonicalBody(env)
+		var err error
+		bodyBytes, err = soap.AppendRawBodyEntries(nil, raw)
+		if err != nil {
+			// Unreachable in practice: the envelope already parsed once.
+			return soap.ClientFault("malformed envelope: %v", err)
+		}
 	}
+	return s.verifyHeaders(env, bodyBytes)
+}
+
+// verifyHeaders runs header processors over the already-computed canonical
+// body, then enforces mustUnderstand: a mustUnderstand block nobody
+// recognises is a MustUnderstand fault, per SOAP 1.1 §4.2.3. Processors
+// run first in both dispatch paths, so their faults take precedence.
+func (s *Server) verifyHeaders(env *soap.Envelope, bodyBytes []byte) *soap.Fault {
 	understood := make(map[*xmldom.Element]bool)
 	for _, h := range env.Header {
 		for _, p := range s.cfg.HeaderProcessors {
@@ -663,18 +698,17 @@ func (s *Server) processHeaders(env *soap.Envelope) *soap.Fault {
 	return nil
 }
 
-// canonicalBody serializes the body entries compactly — the byte string
-// header signatures cover. Entries are re-homed into a synthetic envelope
-// first so both sides serialize them under identical namespace context
-// regardless of how the surrounding document was spelled; body entries are
-// required to carry their own namespace declarations (ours always do).
+// canonicalBody serializes the body entries compactly and in place — the
+// byte string header signatures cover. A signer (our client) serializes
+// entries exactly as it transmits them, and the server verifies against
+// the verbatim wire spans of the received body entries, so the canonical
+// form IS the wire form: no re-homing, no cloning, no second namespace
+// context. Entries whose prefixes resolve through the standard envelope
+// declarations serialize identically on both sides (ours always do).
 func canonicalBody(env *soap.Envelope) []byte {
-	canon := soap.New()
-	canon.Body = env.Body
-	canon.Element() // reparents the entries under the standard declarations
 	var buf bytes.Buffer
 	for _, e := range env.Body {
-		_ = e.Clone().Serialize(&buf)
+		_ = e.Serialize(&buf)
 	}
 	return buf.Bytes()
 }
@@ -695,8 +729,9 @@ func deadlineBudget(req *httpx.Request) time.Duration {
 }
 
 // dispatch interprets the body and executes the request(s). This is the
-// server-side dispatcher of §3.5 plus the assembler of §3.4.
-func (s *Server) dispatch(ctx context.Context, env *soap.Envelope, defaultService string) (*soap.Envelope, *soap.Fault) {
+// server-side dispatcher of §3.5 plus the assembler of §3.4. target is the
+// HTTP request target, threaded through for EntryInterceptor info.
+func (s *Server) dispatch(ctx context.Context, env *soap.Envelope, defaultService, target string) (*soap.Envelope, *soap.Fault) {
 	if len(env.Body) != 1 {
 		return nil, soap.ClientFault("expected exactly one body entry, got %d", len(env.Body))
 	}
@@ -704,9 +739,23 @@ func (s *Server) dispatch(ctx context.Context, env *soap.Envelope, defaultServic
 
 	rctx := &registry.Context{Ctx: ctx, RequestHeaders: env.Header}
 
+	var einfo *EntryInfo
+	if len(s.cfg.EntryInterceptors) > 0 {
+		einfo = &EntryInfo{Target: target, DefaultService: defaultService, Version: env.Version}
+	}
+
 	if isPackedRequest(entry) {
 		s.packed.Add(1)
-		return s.dispatchPacked(ctx, entry, rctx, defaultService)
+		return s.dispatchPacked(ctx, entry, rctx, defaultService, einfo)
+	}
+	if einfo != nil {
+		// Single call (plain or plan): the entry hook runs exactly once,
+		// mirroring the streaming path.
+		repl, fault := runEntryInterceptors(s.cfg.EntryInterceptors, entry, einfo)
+		if fault != nil {
+			return nil, fault
+		}
+		entry = repl
 	}
 	if isPlanBody(entry) {
 		return s.dispatchPlan(ctx, entry, rctx, defaultService)
@@ -824,7 +873,7 @@ type packedDone struct {
 // completed companions keep their real results. The done channel is
 // buffered to len(entries) so abandoned workers complete their sends
 // harmlessly after the protocol thread has moved on.
-func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *registry.Context, defaultService string) (*soap.Envelope, *soap.Fault) {
+func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *registry.Context, defaultService string, einfo *EntryInfo) (*soap.Envelope, *soap.Fault) {
 	entries := pm.ChildElements()
 	if len(entries) == 0 {
 		return nil, soap.ClientFault("%s has no requests", ElemParallelMethod)
@@ -835,6 +884,16 @@ func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *r
 	done := make(chan packedDone, len(entries))
 	pending := 0
 	for i, el := range entries {
+		if einfo != nil {
+			ei := *einfo
+			ei.Index, ei.Packed = i, true
+			repl, fault := runEntryInterceptors(s.cfg.EntryInterceptors, el, &ei)
+			if fault != nil {
+				results[i] = &rpcResult{id: i, fault: fault}
+				continue
+			}
+			el = repl
+		}
 		req, fault := decodeRequestElement(el, defaultService, i)
 		if fault != nil {
 			results[i] = &rpcResult{id: i, fault: fault}

@@ -18,19 +18,28 @@ import (
 // overlap instead of running back to back on the protocol thread.
 //
 // It preserves the buffered path's responses byte for byte. The one
-// observable difference is side-effect timing on malformed documents: a
-// request whose envelope turns out to be malformed *after* well-formed
-// packed entries gets the same whole-message fault the buffered path
-// returns, but those early entries have already executed. Deployments that
-// cannot accept that (or that need the whole tree up front) fall off the
-// fast path automatically: differential deserialization caches parsed
-// trees, interceptors receive whole envelopes, and header processors need
-// the canonical body serialization for signatures, so any of them disables
-// streaming.
+// observable difference is side-effect timing: a request whose envelope
+// turns out to be malformed — or whose security header fails verification —
+// *after* well-formed packed entries gets the same whole-message fault the
+// buffered path returns, but those early entries have already executed
+// (idempotency is the application's concern, as with any at-least-once
+// delivery). The features that used to force the buffered path now operate
+// at entry/token granularity instead:
+//
+//   - differential deserialization hashes each entry's raw subtree span as
+//     the decoder consumes it, cloning cached parses into the arena on hits
+//     (see diffCache);
+//   - EntryInterceptors hook each entry as its subtree closes;
+//   - header processors (WSSE) verify over the verbatim body spans teed out
+//     of the decoder, concurrently with entry dispatch, and fail the batch
+//     before any response bytes are emitted.
+//
+// Only whole-envelope Interceptors — and the explicit BufferedDispatch
+// opt-out — still fall back to the buffered path.
 
 // canStream reports whether the streaming fast path applies to this server.
 func (s *Server) canStream() bool {
-	return s.diff == nil && len(s.cfg.Interceptors) == 0 && len(s.cfg.HeaderProcessors) == 0
+	return !s.cfg.BufferedDispatch && len(s.cfg.Interceptors) == 0
 }
 
 // handleStream is the streaming counterpart of the parse/dispatch/encode
@@ -58,11 +67,10 @@ func (s *Server) handleStream(ctx context.Context, req *httpx.Request, defaultSe
 	env := d.Envelope()
 	s.envelopes.Add(1)
 
-	// Headers arrived with the preamble; mustUnderstand is enforceable now.
-	// (No HeaderProcessors on this path, so no canonical body is needed.)
-	if fault := s.processHeaders(env); fault != nil {
-		return s.faultResponse(fault, env.Version)
-	}
+	// Header verification is deferred until the body has been consumed: the
+	// processors' canonical input is the verbatim body spans the decoder tees
+	// out, and the buffered path's fault precedence (malformed envelope
+	// before any header fault) requires the whole document validated first.
 	// Streamed entries cross into application-stage workers that can outlive
 	// the request (degrade path); the arena-backed header elements must not.
 	headers := cloneHeaders(env.Header)
@@ -74,7 +82,7 @@ func (s *Server) handleStream(ctx context.Context, req *httpx.Request, defaultSe
 	}
 
 	dispatchStart := time.Now()
-	resp, respEnv, encInDispatch, fault := s.dispatchStream(ctx, d, headers, defaultService, env.Version)
+	resp, respEnv, encInDispatch, fault := s.dispatchStream(ctx, d, arena, headers, defaultService, req.Target, env.Version)
 	// Encoding interleaved with the dispatch (the streamed assembler) is
 	// attributed to the encode phase, not the dispatch phase.
 	dispatchDur := time.Since(dispatchStart) - encInDispatch
@@ -151,11 +159,12 @@ func cloneHeaders(hs []*xmldom.Element) []*xmldom.Element {
 
 // dispatchStream routes the body. A packed body streams entry by entry
 // and returns a ready HTTP response assembled incrementally; anything else
-// completes the envelope, falls back to the buffered dispatcher (which
-// keeps single-request and plan semantics and their error messages in one
-// place) and returns the envelope for the caller to encode. encDur is the
-// time the packed path spent encoding, for phase attribution.
-func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, headers []*xmldom.Element, defaultService string, v soap.Version) (*httpx.Response, *soap.Envelope, time.Duration, *soap.Fault) {
+// completes the envelope — consulting the per-entry differential cache —
+// verifies headers, and falls back to the buffered dispatcher (which keeps
+// single-request and plan semantics and their error messages in one place),
+// returning the envelope for the caller to encode. encDur is the time the
+// packed path spent encoding, for phase attribution.
+func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, arena *xmldom.Arena, headers []*xmldom.Element, defaultService, target string, v soap.Version) (*httpx.Response, *soap.Envelope, time.Duration, *soap.Fault) {
 	entry, err := d.NextEntryStart()
 	if err != nil {
 		return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
@@ -163,12 +172,32 @@ func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, head
 	rctx := &registry.Context{Ctx: ctx, RequestHeaders: headers}
 	if entry != nil && isPackedRequest(entry) {
 		s.packed.Add(1)
-		resp, encDur, fault := s.dispatchPackedStream(ctx, d, entry, rctx, defaultService, v)
+		resp, encDur, fault := s.dispatchPackedStream(ctx, d, entry, rctx, defaultService, target, v)
 		return resp, nil, encDur, fault
 	}
 	// Not packed: nothing to overlap, so finish decoding and fall back.
 	if entry != nil {
-		if err := d.CompleteEntry(entry); err != nil {
+		if s.diff != nil {
+			raw, err := d.CompleteEntrySpan(entry)
+			if err != nil {
+				return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
+			}
+			rootTag, bodyTag := d.RawContext()
+			key := subtreeKey(contextSum(rootTag, bodyTag), raw)
+			if cached := s.diff.lookup(key); cached != nil {
+				d.ReplaceEntry(entry, cached.CloneInArena(arena))
+			} else {
+				parsed, perr := xmldom.ParseBytesInArena(raw, arena)
+				if perr != nil {
+					return nil, nil, 0, soap.ClientFault("malformed envelope: %v", perr)
+				}
+				d.ReplaceEntry(entry, parsed)
+				// Clone after attaching: that pulls inherited namespace
+				// declarations onto the stored copy, so a future hit resolves
+				// identically without its ancestors.
+				s.diff.insert(key, parsed.Clone())
+			}
+		} else if err := d.CompleteEntry(entry); err != nil {
 			return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
 		}
 	}
@@ -176,9 +205,36 @@ func (s *Server) dispatchStream(ctx context.Context, d *soap.StreamDecoder, head
 	if err != nil {
 		return nil, nil, 0, soap.ClientFault("malformed envelope: %v", err)
 	}
+	// Verify headers now that the document is known well-formed, over the
+	// verbatim received spans — the same bytes the buffered path extracts.
+	var canonical []byte
+	if len(s.cfg.HeaderProcessors) > 0 {
+		canonical = canonicalFromSpans(d.BodySpans())
+	}
+	if fault := s.verifyHeaders(env, canonical); fault != nil {
+		return nil, nil, 0, fault
+	}
 	env.Header = headers
-	respEnv, fault := s.dispatch(ctx, env, defaultService)
+	respEnv, fault := s.dispatch(ctx, env, defaultService, target)
 	return nil, respEnv, 0, fault
+}
+
+// canonicalFromSpans concatenates the decoder's body spans into the
+// canonical body the header processors verify. The overwhelmingly common
+// single-span case is zero-copy.
+func canonicalFromSpans(spans [][]byte) []byte {
+	if len(spans) == 1 {
+		return spans[0]
+	}
+	n := 0
+	for _, sp := range spans {
+		n += len(sp)
+	}
+	out := make([]byte, 0, n)
+	for _, sp := range spans {
+		out = append(out, sp...)
+	}
+	return out
 }
 
 // streamCollector gathers results from application-stage workers when the
@@ -277,13 +333,50 @@ func (c *streamCollector) waitSlot(ctx context.Context, slot int) (degraded bool
 // When the envelope deadline fires it degrades unfinished slots to
 // per-item faults exactly as the buffered path does; differential tests
 // pin the bytes identical under randomized completion orders.
-func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder, pm *xmldom.Element, rctx *registry.Context, defaultService string, v soap.Version) (*httpx.Response, time.Duration, *soap.Fault) {
+func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder, pm *xmldom.Element, rctx *registry.Context, defaultService, target string, v soap.Version) (*httpx.Response, time.Duration, *soap.Fault) {
 	col := newStreamCollector()
 	asm := newPackedAssembler()
 	defer asm.release()
 	reqs := make([]*rpcRequest, 0, 8)
+	arena := d.Arena()
+
+	var ctxSum [32]byte
+	if s.diff != nil {
+		rootTag, bodyTag := d.RawContext()
+		ctxSum = contextSum(rootTag, bodyTag, d.EntryStartTag())
+	}
+	var einfo *EntryInfo
+	if len(s.cfg.EntryInterceptors) > 0 {
+		einfo = &EntryInfo{Target: target, DefaultService: defaultService, Version: v, Packed: true}
+	}
+
 	for {
-		el, err := d.NextChild(pm)
+		var el *xmldom.Element
+		var err error
+		if s.diff != nil {
+			// Per-entry differential deserialization: hash the raw subtree
+			// span as the tokenizer consumes it; a hit clones the cached
+			// parse into the arena without building the DOM again.
+			var raw []byte
+			raw, err = d.NextChildSpan(pm)
+			if err == nil && raw != nil {
+				key := subtreeKey(ctxSum, raw)
+				if cached := s.diff.lookup(key); cached != nil {
+					el = cached.CloneInArena(arena)
+					pm.AddChild(el)
+				} else {
+					el, err = xmldom.ParseBytesInArena(raw, arena)
+					if err == nil {
+						pm.AddChild(el)
+						// Clone after attaching, so inherited namespace
+						// declarations bake onto the stored copy.
+						s.diff.insert(key, el.Clone())
+					}
+				}
+			}
+		} else {
+			el, err = d.NextChild(pm)
+		}
 		if err != nil {
 			return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 		}
@@ -291,6 +384,17 @@ func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder
 			break
 		}
 		i := col.addSlot()
+		if einfo != nil {
+			ei := *einfo
+			ei.Index = i
+			repl, fault := runEntryInterceptors(s.cfg.EntryInterceptors, el, &ei)
+			if fault != nil {
+				reqs = append(reqs, nil)
+				col.fill(i, &rpcResult{id: i, fault: fault})
+				continue
+			}
+			el = repl
+		}
 		req, fault := decodeRequestElement(el, defaultService, i)
 		reqs = append(reqs, req)
 		if fault != nil {
@@ -313,15 +417,10 @@ func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder
 			col.fill(i, &rpcResult{id: req.id, service: req.service, op: req.op, fault: s.admissionFault(err)})
 		}
 	}
-	if len(reqs) == 0 {
-		return nil, asm.encDur, soap.ClientFault("%s has no requests", ElemParallelMethod)
-	}
-
 	// Validate the rest of the document before encoding anything: a
-	// malformed tail (or extra body entries) must produce the buffered
-	// path's whole-message fault, which takes precedence over any
-	// assembly error. Late workers deliver into the collector
-	// harmlessly — they hold copies, never arena nodes.
+	// malformed tail must produce the buffered path's whole-message fault,
+	// which takes precedence over everything else. Late workers deliver
+	// into the collector harmlessly — they hold copies, never arena nodes.
 	extra := 0
 	for {
 		el, err := d.NextEntryStart()
@@ -336,11 +435,45 @@ func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder
 			return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 		}
 	}
-	if _, err := d.Finish(); err != nil {
+	env, err := d.Finish()
+	if err != nil {
 		return nil, asm.encDur, soap.ClientFault("malformed envelope: %v", err)
 	}
+
+	// Header verification, now that the document is known well-formed.
+	// The buffered path verifies headers before dispatch, so its fault
+	// precedence is header fault > extra-entry fault > dispatch faults.
+	// With processors configured the (crypto-heavy) verification runs on
+	// its own goroutine, overlapped with the assembly drain below, and is
+	// joined before any return — the batch fails before response bytes
+	// leave, entries that already executed notwithstanding. The
+	// mustUnderstand-only case is cheap enough to check inline.
+	var hdrCh chan *soap.Fault
+	if len(s.cfg.HeaderProcessors) > 0 {
+		canonical := canonicalFromSpans(d.BodySpans())
+		hdrCh = make(chan *soap.Fault, 1)
+		go func() { hdrCh <- s.verifyHeaders(env, canonical) }()
+	} else if fault := s.verifyHeaders(env, nil); fault != nil {
+		return nil, asm.encDur, fault
+	}
+	// Exactly one return path runs, so joinHeaders receives at most once.
+	joinHeaders := func() *soap.Fault {
+		if hdrCh == nil {
+			return nil
+		}
+		return <-hdrCh
+	}
 	if extra > 0 {
+		if fault := joinHeaders(); fault != nil {
+			return nil, asm.encDur, fault
+		}
 		return nil, asm.encDur, soap.ClientFault("expected exactly one body entry, got %d", 1+extra)
+	}
+	if len(reqs) == 0 {
+		if fault := joinHeaders(); fault != nil {
+			return nil, asm.encDur, fault
+		}
+		return nil, asm.encDur, soap.ClientFault("%s has no requests", ElemParallelMethod)
 	}
 
 	// In-order incremental assembly: encode each contiguous completed
@@ -362,6 +495,11 @@ func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder
 			}
 			col.mu.Unlock()
 		}
+	}
+	// Join verification before letting any bytes leave; a header fault
+	// outranks even an assembly failure, matching the buffered order.
+	if fault := joinHeaders(); fault != nil {
+		return nil, asm.encDur, fault
 	}
 	if asm.failed != nil {
 		return nil, asm.encDur, soap.ServerFault("assembling packed response: %v", asm.failed)

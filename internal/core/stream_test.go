@@ -28,8 +28,10 @@ func postRaw(t *testing.T, sys *system, doc string) (int, *soap.Envelope) {
 	return resp.StatusCode, env
 }
 
-// TestStreamPathActive pins the gate: the default configuration streams,
-// and each buffered-envelope feature disables it.
+// TestStreamPathActive pins the gate: everything streams except
+// whole-envelope interceptors and the explicit opt-out. Differential
+// deserialization, header processors and entry interceptors all run at
+// entry/token granularity on the streaming path.
 func TestStreamPathActive(t *testing.T) {
 	mk := func(mutate func(*ServerConfig)) *Server {
 		cfg := ServerConfig{Container: newEchoContainer(t)}
@@ -46,17 +48,27 @@ func TestStreamPathActive(t *testing.T) {
 	if !mk(nil).canStream() {
 		t.Error("default config does not stream")
 	}
-	if mk(func(c *ServerConfig) { c.DifferentialDeserialization = true }).canStream() {
-		t.Error("differential deserialization did not disable streaming")
+	if !mk(func(c *ServerConfig) { c.DifferentialDeserialization = true }).canStream() {
+		t.Error("differential deserialization fell off the streaming path")
+	}
+	if !mk(func(c *ServerConfig) { c.HeaderProcessors = []HeaderProcessor{nopHeaderProcessor{}} }).canStream() {
+		t.Error("header processors fell off the streaming path")
+	}
+	if !mk(func(c *ServerConfig) {
+		c.EntryInterceptors = []EntryInterceptor{func(e *xmldom.Element, _ *EntryInfo) (*xmldom.Element, *soap.Fault) {
+			return nil, nil
+		}}
+	}).canStream() {
+		t.Error("entry interceptors fell off the streaming path")
 	}
 	passthrough := func(env *soap.Envelope, info *RequestInfo, next Dispatcher) (*soap.Envelope, *soap.Fault) {
 		return next(env)
 	}
 	if mk(func(c *ServerConfig) { c.Interceptors = []Interceptor{passthrough} }).canStream() {
-		t.Error("interceptors did not disable streaming")
+		t.Error("whole-envelope interceptors did not disable streaming")
 	}
-	if mk(func(c *ServerConfig) { c.HeaderProcessors = []HeaderProcessor{nopHeaderProcessor{}} }).canStream() {
-		t.Error("header processors did not disable streaming")
+	if mk(func(c *ServerConfig) { c.BufferedDispatch = true }).canStream() {
+		t.Error("BufferedDispatch did not disable streaming")
 	}
 }
 

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/soap"
+	"repro/internal/soapenc"
+	"repro/internal/wsse"
+	"repro/internal/xmldom"
+	"repro/internal/xmltext"
+)
+
+// This file is the differential suite for the unified fast path: every
+// feature combination that used to force buffered dispatch now streams, and
+// the only acceptable difference from an explicit BufferedDispatch server is
+// none at all — responses must match byte for byte, across WSSE, the
+// per-entry differential cache, entry interceptors, both SOAP versions, and
+// single, packed and fault-producing bodies.
+
+// parityFeatures is one cell of the server-feature matrix.
+type parityFeatures struct {
+	name  string
+	wsse  bool
+	diff  bool
+	entry bool
+}
+
+var parityMatrix = []parityFeatures{
+	{name: "bare"},
+	{name: "diff", diff: true},
+	{name: "wsse", wsse: true},
+	{name: "entry-ic", entry: true},
+	{name: "wsse-diff", wsse: true, diff: true},
+	{name: "wsse-diff-entry", wsse: true, diff: true, entry: true},
+}
+
+var paritySecret = []byte("parity-shared-secret")
+
+// parityEntryInterceptors: one rejecting hook and one rewriting hook, both
+// deterministic so streamed and buffered dispatch see identical behaviour.
+func parityEntryInterceptors() []EntryInterceptor {
+	deny := func(entry *xmldom.Element, info *EntryInfo) (*xmldom.Element, *soap.Fault) {
+		if entry.Name.Local == "deny" {
+			return nil, soap.ClientFault("denied by interceptor")
+		}
+		return nil, nil
+	}
+	rewrite := func(entry *xmldom.Element, info *EntryInfo) (*xmldom.Element, *soap.Fault) {
+		for _, c := range entry.ChildElements() {
+			if c.Name.Local == "data" && c.Text() == "rewrite-me" {
+				repl := entry.Clone()
+				for _, rc := range repl.ChildElements() {
+					if rc.Name.Local == "data" {
+						rc.SetText("rewritten")
+					}
+				}
+				return repl, nil
+			}
+		}
+		return nil, nil
+	}
+	return []EntryInterceptor{deny, rewrite}
+}
+
+func parityConfig(f parityFeatures, buffered bool) func(*ServerConfig, *ClientConfig) {
+	return func(s *ServerConfig, c *ClientConfig) {
+		s.BufferedDispatch = buffered
+		s.DifferentialDeserialization = f.diff
+		if f.wsse {
+			s.HeaderProcessors = []HeaderProcessor{&wsse.Verifier{
+				Secrets: map[string][]byte{"alice": paritySecret},
+			}}
+		}
+		if f.entry {
+			s.EntryInterceptors = parityEntryInterceptors()
+		}
+	}
+}
+
+// parityEcho builds <m:op xmlns:m="urn:spi:Echo"><data ...>text</data></m:op>.
+func parityEcho(t *testing.T, op, text string) *xmldom.Element {
+	t.Helper()
+	el, err := encodeRequestElement("urn:spi:Echo", op, []soapenc.Field{soapenc.F("data", text)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return el
+}
+
+// parityPacked wraps entries into a Parallel_Method with spi:id/spi:service.
+func parityPacked(entries ...*xmldom.Element) *xmldom.Element {
+	pm := xmldom.NewElement(xmltext.Name{Prefix: PrefixPack, Local: ElemParallelMethod})
+	pm.DeclareNamespace(PrefixPack, NSPack)
+	for i, e := range entries {
+		e.SetAttr(attrID, strconv.Itoa(i))
+		e.SetAttr(attrService, "Echo")
+		pm.AddChild(e)
+	}
+	return pm
+}
+
+// parityDoc serializes a request document, signing it when sign is set. The
+// signature covers canonicalBody — the same bytes the wire carries, which
+// is exactly what the streaming server verifies from its raw spans.
+func parityDoc(t *testing.T, v soap.Version, sign bool, body ...*xmldom.Element) []byte {
+	t.Helper()
+	env := soap.New()
+	env.Version = v
+	env.Body = body
+	if sign {
+		signer := &wsse.Signer{Username: "alice", Secret: paritySecret}
+		blocks, err := signer.MakeHeaders(canonicalBody(env))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Header = blocks
+	}
+	enc := soap.NewStreamEncoder()
+	doc, err := enc.EncodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), doc...)
+	enc.Release()
+	return out
+}
+
+func TestUnifiedFastPathParity(t *testing.T) {
+	for _, f := range parityMatrix {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			streamed := newSystem(t, parityConfig(f, false))
+			buffered := newSystem(t, parityConfig(f, true))
+			if !streamed.server.canStream() {
+				t.Fatalf("%s: server fell off the streaming path", f.name)
+			}
+			if buffered.server.canStream() {
+				t.Fatal("BufferedDispatch server still streams")
+			}
+
+			for _, v := range []soap.Version{soap.V11, soap.V12} {
+				// Each case builds the body fresh per round so signatures
+				// (nonces) regenerate, while the entries themselves repeat —
+				// round two exercises the differential cache's hit path.
+				cases := []struct {
+					name   string
+					target string
+					body   func(t *testing.T) []*xmldom.Element
+				}{
+					{"single", "/services/Echo", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityEcho(t, "echo", "hello & <world>")}
+					}},
+					{"single-fault", "/services/Echo", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityEcho(t, "fail", "x")}
+					}},
+					{"single-unknown-op", "/services/Echo", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityEcho(t, "noSuchOp", "x")}
+					}},
+					{"packed", "/services/", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityPacked(
+							parityEcho(t, "echo", "one"),
+							parityEcho(t, "echo", "two"),
+							parityEcho(t, "slow", "three"),
+						)}
+					}},
+					{"packed-item-faults", "/services/", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityPacked(
+							parityEcho(t, "echo", "ok"),
+							parityEcho(t, "fail", "boom"),
+							parityEcho(t, "noSuchOp", "x"),
+						)}
+					}},
+					{"packed-empty", "/services/", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityPacked()}
+					}},
+					{"extra-body-entries", "/services/Echo", func(t *testing.T) []*xmldom.Element {
+						return []*xmldom.Element{parityEcho(t, "echo", "a"), parityEcho(t, "echo", "b")}
+					}},
+				}
+				if f.entry {
+					cases = append(cases,
+						struct {
+							name   string
+							target string
+							body   func(t *testing.T) []*xmldom.Element
+						}{"packed-denied-entry", "/services/", func(t *testing.T) []*xmldom.Element {
+							return []*xmldom.Element{parityPacked(
+								parityEcho(t, "echo", "fine"),
+								parityEcho(t, "deny", "nope"),
+							)}
+						}},
+						struct {
+							name   string
+							target string
+							body   func(t *testing.T) []*xmldom.Element
+						}{"packed-rewritten-entry", "/services/", func(t *testing.T) []*xmldom.Element {
+							return []*xmldom.Element{parityPacked(
+								parityEcho(t, "echo", "rewrite-me"),
+							)}
+						}},
+					)
+				}
+				for _, tc := range cases {
+					name := fmt.Sprintf("%v/%s", v, tc.name)
+					for round := 0; round < 2; round++ {
+						doc := parityDoc(t, v, f.wsse, tc.body(t)...)
+						sCode, sBody := postDoc(t, streamed, tc.target, v, doc)
+						bCode, bBody := postDoc(t, buffered, tc.target, v, doc)
+						if sCode != bCode {
+							t.Errorf("%s round %d: status streamed %d buffered %d", name, round, sCode, bCode)
+						}
+						if !bytes.Equal(sBody, bBody) {
+							t.Errorf("%s round %d: responses diverge\nstreamed: %s\nbuffered: %s",
+								name, round, sBody, bBody)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamedWSSERejectsTamper pins the security property of concurrent
+// verification: a signed batch whose body was altered in flight must fail
+// with the same fault on both paths, even though the streaming server may
+// already have executed entries by the time the signature check lands.
+func TestStreamedWSSERejectsTamper(t *testing.T) {
+	for _, f := range []parityFeatures{
+		{name: "wsse", wsse: true},
+		{name: "wsse-diff", wsse: true, diff: true},
+	} {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			streamed := newSystem(t, parityConfig(f, false))
+			buffered := newSystem(t, parityConfig(f, true))
+			for _, build := range []func(t *testing.T) []*xmldom.Element{
+				func(t *testing.T) []*xmldom.Element {
+					return []*xmldom.Element{parityPacked(
+						parityEcho(t, "echo", "tamper-target"),
+						parityEcho(t, "echo", "bystander"),
+					)}
+				},
+				func(t *testing.T) []*xmldom.Element {
+					return []*xmldom.Element{parityEcho(t, "echo", "tamper-target")}
+				},
+			} {
+				doc := parityDoc(t, soap.V11, true, build(t)...)
+				tampered := bytes.Replace(doc, []byte("tamper-target"), []byte("tamper-forgery"), 1)
+				if bytes.Equal(doc, tampered) {
+					t.Fatal("tamper marker not found in document")
+				}
+				target := "/services/Echo"
+				if bytes.Contains(doc, []byte(ElemParallelMethod)) {
+					target = "/services/"
+				}
+				sCode, sBody := postDoc(t, streamed, target, soap.V11, tampered)
+				bCode, bBody := postDoc(t, buffered, target, soap.V11, tampered)
+				if sCode != bCode || !bytes.Equal(sBody, bBody) {
+					t.Errorf("tampered responses diverge: streamed %d %s\nbuffered %d %s",
+						sCode, sBody, bCode, bBody)
+				}
+				if !bytes.Contains(sBody, []byte("signature mismatch")) {
+					t.Errorf("tampered request not rejected: %d %s", sCode, sBody)
+				}
+			}
+		})
+	}
+}
+
+// postDoc posts raw document bytes and returns the raw response.
+func postDoc(t *testing.T, sys *system, target string, v soap.Version, doc []byte) (int, []byte) {
+	t.Helper()
+	resp, err := sys.client.http.Post(target, v.ContentType(), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Body
+}

@@ -25,7 +25,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
-	"strings"
+	"strconv"
 	"sync"
 
 	"repro/internal/soap"
@@ -55,7 +55,17 @@ type Key struct {
 // two shape classes because the wire type (xsd:int vs xsd:long) depends on
 // the value's range, and the template bakes the xsi:type in.
 func ShapeOf(params []soapenc.Field) (string, bool) {
-	var b strings.Builder
+	b, ok := appendShape(nil, params)
+	if !ok {
+		return "", false
+	}
+	return string(b), true
+}
+
+// appendShape is ShapeOf in append form, so the cache's hit path can build
+// the shape into a stack scratch buffer instead of allocating a string per
+// call.
+func appendShape(dst []byte, params []soapenc.Field) ([]byte, bool) {
 	for _, p := range params {
 		var t string
 		switch v := p.Value.(type) {
@@ -72,14 +82,14 @@ func ShapeOf(params []soapenc.Field) (string, bool) {
 		case bool:
 			t = "b"
 		default:
-			return "", false
+			return nil, false
 		}
-		b.WriteString(p.Name)
-		b.WriteByte(':')
-		b.WriteString(t)
-		b.WriteByte(';')
+		dst = append(dst, p.Name...)
+		dst = append(dst, ':')
+		dst = append(dst, t...)
+		dst = append(dst, ';')
 	}
-	return b.String(), true
+	return dst, true
 }
 
 func intShape(n int64) string {
@@ -98,38 +108,55 @@ type Template struct {
 // Render splices the parameter values into the template. Values are
 // escaped for text content exactly as the full serializer would.
 func (t *Template) Render(params []soapenc.Field) ([]byte, error) {
-	if len(params) != len(t.segments)-1 {
-		return nil, fmt.Errorf("msgcache: template has %d holes, got %d params",
-			len(t.segments)-1, len(params))
+	em := xmltext.AcquireEmitter()
+	defer xmltext.ReleaseEmitter(em)
+	if err := t.RenderTo(em, params); err != nil {
+		return nil, err
 	}
-	size := 0
-	for _, s := range t.segments {
-		size += len(s)
-	}
-	out := make([]byte, 0, size+len(params)*16)
-	for i, seg := range t.segments {
-		out = append(out, seg...)
-		if i < len(params) {
-			text, err := scalarText(params[i].Value)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, xmltext.EscapeText(text)...)
-		}
-	}
-	return out, nil
+	return append([]byte(nil), em.Bytes()...), nil
 }
 
-// scalarText renders a scalar value exactly the way soapenc does, by
-// encoding into a scratch element and extracting the text. Going through
-// soapenc keeps the two formats locked together.
-func scalarText(v soapenc.Value) (string, error) {
-	scratch := xmldom.NewElement(xmltext.Name{Local: "scratch"})
-	enc, err := soapenc.Encode(scratch, "v", v)
-	if err != nil {
-		return "", err
+// RenderTo splices the parameter values into the template directly onto an
+// emitter — the allocation-free form of Render: segments are appended
+// verbatim and scalars are formatted into a stack scratch buffer, exactly
+// as soapenc's streaming encoder writes them, so the bytes match a full
+// serialization. The rendered document is em.Bytes(), valid until the
+// emitter is released or reused.
+func (t *Template) RenderTo(em *xmltext.Emitter, params []soapenc.Field) error {
+	if len(params) != len(t.segments)-1 {
+		return fmt.Errorf("msgcache: template has %d holes, got %d params",
+			len(t.segments)-1, len(params))
 	}
-	return enc.Text(), nil
+	var tmp [32]byte
+	for i, seg := range t.segments {
+		em.Raw(seg)
+		if i >= len(params) {
+			break
+		}
+		switch v := params[i].Value.(type) {
+		case string:
+			em.RawText(v)
+		case int64:
+			em.Raw(strconv.AppendInt(tmp[:0], v, 10))
+		case int:
+			em.Raw(strconv.AppendInt(tmp[:0], int64(v), 10))
+		case int32:
+			em.Raw(strconv.AppendInt(tmp[:0], int64(v), 10))
+		case float64:
+			em.Raw(soapenc.AppendDouble(tmp[:0], v))
+		case bool:
+			if v {
+				em.RawString("true")
+			} else {
+				em.RawString("false")
+			}
+		default:
+			// ShapeOf admits only the scalars above; anything else means
+			// the template and the call disagree.
+			return fmt.Errorf("msgcache: unsupported scalar type %T", v)
+		}
+	}
+	return em.Err()
 }
 
 // Stats counts cache behaviour.
@@ -145,14 +172,21 @@ type Stats struct {
 type Cache struct {
 	mu        sync.RWMutex
 	templates map[Key]*Template
-	hits      int64
-	misses    int64
-	uncached  int64
+	// shapes interns shape strings: the hit path builds the shape into a
+	// stack buffer and resolves it here with an allocation-free
+	// map[string(bytes)] lookup, so rendering a cached call never allocates.
+	shapes   map[string]string
+	hits     int64
+	misses   int64
+	uncached int64
 }
 
 // New returns an empty cache.
 func New() *Cache {
-	return &Cache{templates: make(map[Key]*Template)}
+	return &Cache{
+		templates: make(map[Key]*Template),
+		shapes:    make(map[string]string),
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -166,24 +200,65 @@ func (c *Cache) Stats() Stats {
 // cached template when one exists. ok reports whether the call was
 // cacheable at all; when ok is false the caller must serialize normally.
 func (c *Cache) Render(service, namespace, op string, params []soapenc.Field) (doc []byte, ok bool, err error) {
-	shape, cacheable := ShapeOf(params)
+	tmpl, err := c.lookup(service, namespace, op, params)
+	if tmpl == nil || err != nil {
+		return nil, false, err
+	}
+	out, err := tmpl.Render(params)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// RenderTo is Render onto a caller-supplied emitter — with a pooled
+// emitter the steady-state hit path allocates nothing. ok reports whether
+// the call was cacheable; when false nothing was written and the caller
+// must serialize normally.
+func (c *Cache) RenderTo(em *xmltext.Emitter, service, namespace, op string, params []soapenc.Field) (ok bool, err error) {
+	tmpl, err := c.lookup(service, namespace, op, params)
+	if tmpl == nil || err != nil {
+		return false, err
+	}
+	if err := tmpl.RenderTo(em, params); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// lookup resolves (building on miss) the template for a call, maintaining
+// the counters. A nil template with nil error means the call is uncacheable.
+// The hit path is allocation-free: the shape is appended into a stack
+// scratch buffer and interned through the shapes map, so the Key is built
+// entirely from strings that already exist.
+func (c *Cache) lookup(service, namespace, op string, params []soapenc.Field) (*Template, error) {
+	var scratch [96]byte
+	shapeBuf, cacheable := appendShape(scratch[:0], params)
 	if !cacheable {
 		c.mu.Lock()
 		c.uncached++
 		c.mu.Unlock()
-		return nil, false, nil
+		return nil, nil
 	}
-	key := Key{Service: service, Op: op, Shape: shape}
 	c.mu.RLock()
-	tmpl := c.templates[key]
+	shape, seen := c.shapes[string(shapeBuf)] // no-copy map probe
+	var tmpl *Template
+	if seen {
+		tmpl = c.templates[Key{Service: service, Op: op, Shape: shape}]
+	}
 	c.mu.RUnlock()
 	if tmpl == nil {
+		var err error
 		tmpl, err = buildTemplate(namespace, op, params)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		c.mu.Lock()
-		c.templates[key] = tmpl
+		if !seen {
+			shape = string(shapeBuf)
+			c.shapes[shape] = shape
+		}
+		c.templates[Key{Service: service, Op: op, Shape: shape}] = tmpl
 		c.misses++
 		c.mu.Unlock()
 	} else {
@@ -191,11 +266,7 @@ func (c *Cache) Render(service, namespace, op string, params []soapenc.Field) (d
 		c.hits++
 		c.mu.Unlock()
 	}
-	out, err := tmpl.Render(params)
-	if err != nil {
-		return nil, false, err
-	}
-	return out, true, nil
+	return tmpl, nil
 }
 
 // buildTemplate serializes the envelope once with placeholder values and

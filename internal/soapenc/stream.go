@@ -72,7 +72,7 @@ func encodeTo(em *xmltext.Emitter, name xmltext.Name, v Value) error {
 		em.Raw(strconv.AppendInt(tmp[:0], v, 10))
 	case float64:
 		em.Attr(xsiTypeAttr, "xsd:double")
-		em.Raw(appendDouble(tmp[:0], v))
+		em.Raw(AppendDouble(tmp[:0], v))
 	case []byte:
 		em.Attr(xsiTypeAttr, "xsd:base64Binary")
 		base64.StdEncoding.Encode(em.Extend(base64.StdEncoding.EncodedLen(len(v))), v)
@@ -110,8 +110,10 @@ func encodeTo(em *xmltext.Emitter, name xmltext.Name, v Value) error {
 	return nil
 }
 
-// appendDouble is formatDouble in append form.
-func appendDouble(dst []byte, f float64) []byte {
+// AppendDouble is formatDouble in append form, exported for template
+// splicing (msgcache), which must render values exactly as the encoder
+// does.
+func AppendDouble(dst []byte, f float64) []byte {
 	switch {
 	case math.IsNaN(f):
 		return append(dst, "NaN"...)

@@ -210,6 +210,18 @@ func (e *Emitter) Text(s string) {
 	e.buf = AppendEscText(e.buf, s)
 }
 
+// RawText is Text without the open-element check: escaped character data
+// appended wherever the buffer stands. It exists for template splicing
+// (msgcache), where the element structure lives in pre-serialized segments
+// the Emitter never saw, so its stack is empty by construction.
+func (e *Emitter) RawText(s string) {
+	if e.err != nil {
+		return
+	}
+	e.closeOpenTag()
+	e.buf = AppendEscText(e.buf, s)
+}
+
 // Raw appends pre-serialized bytes verbatim, completing any open start tag
 // first. It is the splice point for body fragments emitted into a separate
 // Emitter, and for numbers formatted into scratch buffers (which never

@@ -31,6 +31,7 @@ const (
 type Tokenizer struct {
 	r    *bufio.Reader
 	pos  Pos
+	off  int64  // bytes consumed from the input
 	err  error  // sticky error
 	open []Name // stack of open elements
 
@@ -76,6 +77,7 @@ func (t *Tokenizer) Reset(r io.Reader) {
 		t.r.Reset(r)
 	}
 	t.pos = Pos{Line: 1, Col: 1}
+	t.off = 0
 	t.err = nil
 	t.open = t.open[:0]
 	t.pendingEnd = Name{}
@@ -142,6 +144,15 @@ func (t *Tokenizer) TokenBytes() []byte { return t.buf }
 // Pos returns the current input position (just past the last byte consumed).
 func (t *Tokenizer) Pos() Pos { return t.pos }
 
+// InputOffset returns the number of input bytes consumed so far: the byte
+// offset of the first unconsumed byte. After Next returns a token whose
+// markup ends at the offset boundary (a start or end tag), the offset
+// points just past that tag's closing '>'. Synthetic end tokens for
+// self-closing tags consume no input, so the offset is stable across them.
+// Combined with ResetBytes/AcquireTokenizer over an in-memory document,
+// this lets callers recover the exact raw byte span of a subtree.
+func (t *Tokenizer) InputOffset() int64 { return t.off }
+
 // Depth returns the current element nesting depth.
 func (t *Tokenizer) Depth() int { return len(t.open) }
 
@@ -167,6 +178,7 @@ func (t *Tokenizer) readByte() (byte, error) {
 	} else {
 		t.pos.Col++
 	}
+	t.off++
 	return c, nil
 }
 
@@ -176,6 +188,7 @@ func (t *Tokenizer) unreadByte() {
 	if t.pos.Col > 1 {
 		t.pos.Col--
 	}
+	t.off--
 }
 
 func (t *Tokenizer) peekByte() (byte, error) {

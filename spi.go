@@ -240,6 +240,12 @@ type (
 	InterceptorDispatcher = core.Dispatcher
 	// RequestInfo describes the message an Interceptor is seeing.
 	RequestInfo = core.RequestInfo
+	// EntryInterceptor hooks each body entry on the streaming fast path
+	// (ServerConfig.EntryInterceptors); unlike Interceptor it does not
+	// force buffered dispatch.
+	EntryInterceptor = core.EntryInterceptor
+	// EntryInfo describes the entry an EntryInterceptor is seeing.
+	EntryInfo = core.EntryInfo
 	// RetryPolicy governs client-side retries: exponential backoff with
 	// jitter, gated on idempotency for errors that may have executed
 	// (ClientConfig.Retry, Client.MarkIdempotent).
@@ -249,6 +255,10 @@ type (
 // DefaultRetryPolicy returns the recommended retry policy: 3 attempts,
 // 20ms base delay doubling to a 2s cap, 20% jitter.
 func DefaultRetryPolicy() *RetryPolicy { return core.DefaultRetryPolicy() }
+
+// EntrySafe adapts an entry-safe whole-envelope Interceptor onto the
+// entry-granular hook, keeping it on the streaming fast path.
+func EntrySafe(ic Interceptor) EntryInterceptor { return core.EntrySafe(ic) }
 
 // NewClient builds a client.
 func NewClient(cfg ClientConfig) (*Client, error) { return core.NewClient(cfg) }
