@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race race-pools race-gateway race-controlplane race-transport race-streamfeatures bench figures fuzz-smoke bench-check bench-gate vet-escapes docs-check
+.PHONY: check build vet test race race-pools race-gateway race-controlplane race-transport race-streamfeatures bench figures fuzz-smoke bench-check bench-gate vet-escapes vet-faults docs-check
 
 ## check: the full gate — build, vet, race-enabled shuffled tests,
 ## pool-lifecycle tests under -race, the gateway differential/chaos suite
@@ -21,6 +21,7 @@ check:
 	$(MAKE) race-transport
 	$(MAKE) race-streamfeatures
 	$(MAKE) vet-escapes
+	$(MAKE) vet-faults
 	$(MAKE) docs-check
 	$(MAKE) bench-gate
 
@@ -98,6 +99,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz='^FuzzReadRequestStream$$' -fuzztime=10s ./internal/httpx
 	$(GO) test -run='^$$' -fuzz='^FuzzParseStats$$' -fuzztime=10s ./internal/admin
 	$(GO) test -run='^$$' -fuzz='^FuzzDiffSubtree$$' -fuzztime=10s ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzFaultRoundTrip$$' -fuzztime=10s ./internal/fault
 
 ## bench-check: snapshot the key benchmarks to BENCH_pr9.json (perf guard).
 bench-check:
@@ -128,3 +130,20 @@ vet-escapes:
 		echo "$$out"; exit 1; \
 	fi; \
 	echo "vet-escapes: encode-path scratch buffers stay on the stack"
+
+## vet-faults: the fault-code literal audit. The dotted Server.* refinement
+## codes may be spelled exactly once, in internal/fault's envelope edge —
+## every other producer must go through the taxonomy constructors, so code
+## and retry semantics can never drift apart. Tests are exempt (they pin
+## wire bytes on purpose).
+vet-faults:
+	@out=$$(grep -rnE '"(Server\.(Timeout|Busy|Cancelled))' \
+		--include='*.go' --exclude='*_test.go' \
+		cmd internal *.go 2>/dev/null | grep -v '^internal/fault/' || true); \
+	if [ -n "$$out" ]; then \
+		echo "vet-faults: Server.* fault-code literals outside internal/fault:"; \
+		echo "$$out"; \
+		echo "use the internal/fault constructors (Timeoutf/Busyf/Cancelledf/...) instead"; \
+		exit 1; \
+	fi; \
+	echo "vet-faults: fault-code literals confined to internal/fault"

@@ -151,6 +151,7 @@ func (e *exporter) renderMetrics() []byte {
 	packed := &metricFamily{name: "spi_packed_total", help: "packed envelopes handled", typ: "counter"}
 	faults := &metricFamily{name: "spi_faults_total", help: "whole-message faults produced", typ: "counter"}
 	itemFaults := &metricFamily{name: "spi_item_faults_total", help: "per-item faults in packed responses", typ: "counter"}
+	faultCodes := &metricFamily{name: "spi_fault_code_total", help: "emitted faults by wire fault code", typ: "counter"}
 	diffHits := &metricFamily{name: "spi_diff_hits_total", help: "differential-deserialization cache hits", typ: "counter"}
 	diffMisses := &metricFamily{name: "spi_diff_misses_total", help: "differential-deserialization cache misses", typ: "counter"}
 	opCount := &metricFamily{name: "spi_op_count_total", help: "operation executions", typ: "counter"}
@@ -179,6 +180,9 @@ func (e *exporter) renderMetrics() []byte {
 		packed.add(nl, st.Packed)
 		faults.add(nl, st.Faults)
 		itemFaults.add(nl, st.ItemFaults)
+		for _, fc := range st.FaultCodes {
+			faultCodes.add(nl+fmt.Sprintf(",code=%q", fc.Code), fc.Count)
+		}
 		diffHits.add(nl, st.DiffHits)
 		diffMisses.add(nl, st.DiffMisses)
 		for _, op := range st.Ops {
@@ -195,7 +199,7 @@ func (e *exporter) renderMetrics() []byte {
 	for _, f := range []*metricFamily{
 		up, weight, draining, workers, busy, idle, queueDepth, queueCap,
 		inflight, envelopes, requests, packed, faults, itemFaults,
-		diffHits, diffMisses, opCount, opLatency, opMean,
+		faultCodes, diffHits, diffMisses, opCount, opLatency, opMean,
 	} {
 		if len(f.samples) == 0 {
 			continue

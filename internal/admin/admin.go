@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/registry"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
@@ -87,8 +88,33 @@ type Stats struct {
 	DiffHits   int64 `json:"diff_hits"`
 	DiffMisses int64 `json:"diff_misses"`
 
+	// FaultCodes breaks Faults+ItemFaults down by emitted wire fault code
+	// (Server.Timeout, Server.Busy, ...). Omitted from the wire when every
+	// tally is zero, so nodes with no faults advertise the same bytes they
+	// did before the taxonomy existed.
+	FaultCodes []FaultCode `json:"fault_codes,omitempty"`
+
 	// Ops holds per-operation latency digests, sorted by name.
 	Ops []OpStat `json:"ops,omitempty"`
+}
+
+// FaultCode is one per-wire-code fault tally inside a Stats snapshot.
+type FaultCode struct {
+	Code  string `json:"code"`
+	Count int64  `json:"count"`
+}
+
+// FaultCodes converts the error core's counter snapshot into the admin
+// wire type.
+func FaultCodes(cc []fault.CodeCount) []FaultCode {
+	if len(cc) == 0 {
+		return nil
+	}
+	out := make([]FaultCode, len(cc))
+	for i, c := range cc {
+		out[i] = FaultCode{Code: c.Code, Count: c.Count}
+	}
+	return out
 }
 
 // Source supplies the live snapshot behind GetStats. Both core.Server and

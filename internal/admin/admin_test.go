@@ -34,6 +34,10 @@ func sampleStats() Stats {
 		Packed:     11111,
 		Faults:     17,
 		ItemFaults: 42,
+		FaultCodes: []FaultCode{
+			{Code: "Server.Timeout", Count: 12},
+			{Code: "Server.Busy", Count: 5},
+		},
 		Ops: []OpStat{
 			{Op: "Echo.echo", Count: 9000, MeanUs: 850, P50Us: 800, P90Us: 1200, P99Us: 2500},
 			{Op: "Weather.get", Count: 120, MeanUs: 1500, P50Us: 1400, P90Us: 2100, P99Us: 4200},
@@ -88,6 +92,10 @@ func TestParseStatsResponseRejects(t *testing.T) {
 		"busy over pool":   bad("busy over pool", func(s *Stats) { s.Busy = s.Workers + 1 }),
 		"negative queue":   bad("negative queue", func(s *Stats) { s.QueueDepth = -5 }),
 		"negative counter": bad("negative counter", func(s *Stats) { s.Envelopes = -1 }),
+		"negative fault code count": bad("negative fault code count",
+			func(s *Stats) { s.FaultCodes[0].Count = -3 }),
+		"nameless fault code": bad("nameless fault code",
+			func(s *Stats) { s.FaultCodes[0].Code = "" }),
 	}
 	for name, body := range cases {
 		if _, err := ParseStatsResponse(body); err == nil {

@@ -26,7 +26,7 @@ func StatsFields(s Stats) []soapenc.Field {
 			soapenc.F("p99_us", o.P99Us),
 		))
 	}
-	return []soapenc.Field{
+	fields := []soapenc.Field{
 		soapenc.F("role", s.Role),
 		soapenc.F("weight", s.Weight),
 		soapenc.F("draining", s.Draining),
@@ -43,8 +43,20 @@ func StatsFields(s Stats) []soapenc.Field {
 		soapenc.F("item_faults", s.ItemFaults),
 		soapenc.F("diff_hits", s.DiffHits),
 		soapenc.F("diff_misses", s.DiffMisses),
-		soapenc.F("ops", ops),
 	}
+	// fault_codes is omitted when every tally is zero so fault-free nodes
+	// advertise exactly the pre-taxonomy bytes (admin goldens stay pinned).
+	if len(s.FaultCodes) > 0 {
+		codes := make(soapenc.Array, 0, len(s.FaultCodes))
+		for _, c := range s.FaultCodes {
+			codes = append(codes, soapenc.NewStruct(
+				soapenc.F("code", c.Code),
+				soapenc.F("count", c.Count),
+			))
+		}
+		fields = append(fields, soapenc.F("fault_codes", codes))
+	}
+	return append(fields, soapenc.F("ops", ops))
 }
 
 // statInt reads one integer stats field, rejecting wrong types and negative
@@ -137,6 +149,31 @@ func StatsFromFields(params []soapenc.Field) (Stats, error) {
 		case "diff_misses":
 			if err := statInt(p.Name, p.Value, &s.DiffMisses); err != nil {
 				return Stats{}, err
+			}
+		case "fault_codes":
+			arr, ok := p.Value.(soapenc.Array)
+			if !ok {
+				return Stats{}, fmt.Errorf("admin: field \"fault_codes\" is %T, want array", p.Value)
+			}
+			s.FaultCodes = make([]FaultCode, 0, len(arr))
+			for i, item := range arr {
+				st, ok := item.(*soapenc.Struct)
+				if !ok || st == nil {
+					return Stats{}, fmt.Errorf("admin: fault_codes[%d] is %T, want struct", i, item)
+				}
+				fc := FaultCode{Code: st.GetString("code")}
+				if fc.Code == "" {
+					return Stats{}, fmt.Errorf("admin: fault_codes[%d] has no code", i)
+				}
+				for _, f := range st.Fields {
+					if f.Name != "count" {
+						continue
+					}
+					if err := statInt("fault_codes.count", f.Value, &fc.Count); err != nil {
+						return Stats{}, err
+					}
+				}
+				s.FaultCodes = append(s.FaultCodes, fc)
 			}
 		case "ops":
 			arr, ok := p.Value.(soapenc.Array)

@@ -150,7 +150,7 @@ func RunDeadlineDegradation(reps int) (*AblationResult, error) {
 	result.Rows = append(result.Rows, AblationRow{
 		Name:   "packed with 40ms budget",
 		Millis: ms,
-		Note: fmt.Sprintf("%d fast results delivered, %d slow entries degraded to Server.Timeout",
+		Note: fmt.Sprintf("%d fast results delivered, %d slow entries degraded to "+core.FaultCodeTimeout,
 			fullResults, degraded),
 	})
 	return result, nil

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/httpx"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
@@ -35,7 +36,8 @@ type packedAssembler struct {
 	next       int           // reorder-window head: first unencoded slot
 	encDur     time.Duration // time spent encoding, for phase attribution
 	itemFaults int
-	failed     error // first soapenc error; encoding stops once set
+	faultCodes *fault.Counters // server's per-wire-code tallies; nil in tests
+	failed     error           // first soapenc error; encoding stops once set
 }
 
 func newPackedAssembler() *packedAssembler {
@@ -89,6 +91,9 @@ func (a *packedAssembler) encodeEntry(r *rpcResult, serviceNS func(service strin
 	id := xmltext.Intern(strconv.AppendInt(tmp[:0], int64(r.id), 10))
 	if r.fault != nil {
 		a.itemFaults++
+		if a.faultCodes != nil {
+			a.faultCodes.NoteSOAP(r.fault)
+		}
 		// Per-item faults use the SOAP 1.1 layout regardless of envelope
 		// version, as the buffered path's Fault.Element does.
 		r.fault.AppendElementFor(a.em, soap.V11, xmltext.Attr{Name: attrID, Value: id})

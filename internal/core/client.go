@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
 	"repro/internal/msgcache"
@@ -336,7 +337,10 @@ func (c *Client) callOnce(ctx context.Context, service, op string, params []soap
 	defer release()
 	if f := respEnv.Fault(); f != nil {
 		c.faults.Add(1)
-		return nil, detachFault(f)
+		// Classify at the decode edge: callers get a taxonomy value
+		// (errors.Is(err, fault.Timeout) etc.) whose Error text and
+		// errors.As(*soap.Fault) behaviour are unchanged.
+		return nil, fault.Classify(detachFault(f))
 	}
 	if len(respEnv.Body) != 1 {
 		return nil, fmt.Errorf("core: response has %d body entries", len(respEnv.Body))
@@ -633,9 +637,9 @@ func (b *Batch) buildPackedElement() (*xmldom.Element, error) {
 func (b *Batch) dispatchResponse(ctx context.Context, respEnv *soap.Envelope) error {
 	if f := respEnv.Fault(); f != nil {
 		b.client.faults.Add(1)
-		f = detachFault(f)
-		b.resolveAll(nil, f)
-		return f
+		cf := fault.Classify(detachFault(f))
+		b.resolveAll(nil, cf)
+		return cf
 	}
 	if len(respEnv.Body) != 1 || !isPackedResponse(respEnv.Body[0]) {
 		err := fmt.Errorf("core: response is not a %s", ElemParallelResponse)
@@ -660,10 +664,11 @@ func (b *Batch) dispatchResponse(ctx context.Context, respEnv *soap.Envelope) er
 			call.resolve(nil, fmt.Errorf("core: no response for packed call %d (%s.%s)", id, call.Service, call.Op))
 		case res.fault != nil:
 			b.client.faults.Add(1)
-			if res.fault.Code == FaultCodeTimeout {
+			cf := fault.Classify(detachFault(res.fault))
+			if errors.Is(cf, fault.Timeout) {
 				b.client.resil.Timeouts.Inc()
 			}
-			call.resolve(nil, detachFault(res.fault))
+			call.resolve(nil, cf)
 		default:
 			call.resolve(res.results, nil)
 		}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/soapenc"
+)
+
+// TestFaultCodeCounters drives one whole-message application fault and one
+// packed per-item watchdog timeout through a live system and asserts both
+// show up, keyed by wire code, in Stats().FaultCodes and the admin
+// snapshot's fault_codes — the taxonomy's observability surface.
+func TestFaultCodeCounters(t *testing.T) {
+	sys := newSystem(t, func(sc *ServerConfig, cc *ClientConfig) {
+		sc.OperationTimeout = 5 * time.Millisecond
+	})
+
+	if _, err := sys.client.Call("Echo", "fail"); err == nil {
+		t.Fatal("fail op did not fault")
+	}
+	b := sys.client.NewBatch()
+	quick := b.Add("Echo", "echo", soapenc.F("msg", "quick"))
+	slow := b.Add("Echo", "slow") // sleeps past the 5ms watchdog
+	if err := b.Send(); err != nil {
+		t.Fatalf("batch send: %v", err)
+	}
+	if _, err := quick.Wait(); err != nil {
+		t.Fatalf("quick entry: %v", err)
+	}
+	_, err := slow.Wait()
+	if err == nil {
+		t.Fatal("parked entry did not fault")
+	}
+	if !errors.Is(fault.ClassifyError(err), fault.Timeout) {
+		t.Fatalf("parked entry err = %v, want a timeout fault", err)
+	}
+
+	counts := func(cc []fault.CodeCount) map[string]int64 {
+		m := make(map[string]int64, len(cc))
+		for _, c := range cc {
+			m[c.Code] = c.Count
+		}
+		return m
+	}
+	got := counts(sys.server.Stats().FaultCodes)
+	if got["Server"] != 1 {
+		t.Errorf("FaultCodes[Server] = %d, want 1 (the app fault): %v", got["Server"], got)
+	}
+	if got[FaultCodeTimeout] != 1 {
+		t.Errorf("FaultCodes[%s] = %d, want 1 (the watchdog item): %v", FaultCodeTimeout, got[FaultCodeTimeout], got)
+	}
+
+	// The admin snapshot advertises the same tallies under fault_codes.
+	adm := sys.server.AdminStats()
+	am := make(map[string]int64, len(adm.FaultCodes))
+	for _, fc := range adm.FaultCodes {
+		am[fc.Code] = fc.Count
+	}
+	if am["Server"] != got["Server"] || am[FaultCodeTimeout] != got[FaultCodeTimeout] {
+		t.Errorf("admin fault_codes = %v, want the server tallies %v", am, got)
+	}
+}

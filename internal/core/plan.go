@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/registry"
 	"repro/internal/soap"
 	"repro/internal/soapenc"
@@ -173,9 +174,9 @@ func (p *Plan) SendCtx(ctx context.Context) error {
 	defer release()
 	if f := respEnv.Fault(); f != nil {
 		p.client.faults.Add(1)
-		f = detachFault(f)
-		resolveAll(f)
-		return f
+		cf := fault.Classify(detachFault(f))
+		resolveAll(cf)
+		return cf
 	}
 	if len(respEnv.Body) != 1 || !isPackedResponse(respEnv.Body[0]) {
 		err := fmt.Errorf("core: plan response is not a %s", ElemParallelResponse)
@@ -194,7 +195,7 @@ func (p *Plan) SendCtx(ctx context.Context) error {
 			s.call.resolve(nil, fmt.Errorf("core: no response for plan step %d (%s.%s)", id, s.service, s.op))
 		case res.fault != nil:
 			p.client.faults.Add(1)
-			s.call.resolve(nil, detachFault(res.fault))
+			s.call.resolve(nil, fault.Classify(detachFault(res.fault)))
 		default:
 			s.call.resolve(res.results, nil)
 		}
@@ -404,6 +405,7 @@ func (s *Server) dispatchPlan(ctx context.Context, plan *xmldom.Element, rctx *r
 	for _, r := range final {
 		if r.fault != nil {
 			s.itemFaults.Add(1)
+			s.faultCodes.NoteSOAP(r.fault)
 		}
 	}
 	respEl, err := buildPackedResponse(final, s.namespaceOf)

@@ -7,14 +7,16 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/httpx"
-	"repro/internal/soap"
 )
 
-// Resilience fault codes. SOAP 1.1 faultcode values are QNames whose local
-// part may be dotted for refinement (spec §4.4.1: "more specific
-// information ... using the '.' character"); these refine Server the way
-// Axis-era stacks did.
+// Resilience fault codes, re-exported from the error core. SOAP 1.1
+// faultcode values are QNames whose local part may be dotted for
+// refinement (spec §4.4.1: "more specific information ... using the '.'
+// character"); these refine Server the way Axis-era stacks did. The
+// literals themselves live in internal/fault's envelope edge — the only
+// place allowed to spell them (`make vet-faults`).
 const (
 	// FaultCodeTimeout marks work abandoned because a deadline expired:
 	// an unfinished entry of a packed message whose envelope deadline
@@ -22,30 +24,31 @@ const (
 	// deadline. Delivered per item inside Parallel_Response entries so
 	// finished companions still return real results (§4.3's per-item
 	// fault requirement applied to deadlines).
-	FaultCodeTimeout = "Server.Timeout"
+	FaultCodeTimeout = fault.WireTimeout
 	// FaultCodeBusy marks a request shed at admission: the application
 	// stage queue stayed full past the admission timeout, so the
 	// operation never started. Always safe to retry.
-	FaultCodeBusy = "Server.Busy"
+	FaultCodeBusy = fault.WireBusy
 	// FaultCodeCancelled marks work abandoned because the caller
 	// disconnected or its propagated context was cancelled before any
 	// deadline expired.
-	FaultCodeCancelled = "Server.Cancelled"
+	FaultCodeCancelled = fault.WireCancelled
 )
 
-// IsTimeoutFault reports whether err is a SOAP fault carrying the
-// per-item/per-operation deadline-expiry code.
+// IsTimeoutFault reports whether err classifies to the taxonomy's
+// deadline-expiry value (the per-item/per-operation timeout fault).
 func IsTimeoutFault(err error) bool {
-	var f *soap.Fault
-	return errors.As(err, &f) && f.Code == FaultCodeTimeout
+	f := fault.ClassifyError(err)
+	return f != nil && errors.Is(f, fault.Timeout)
 }
 
-// IsBusyFault reports whether err is a SOAP fault carrying the
-// admission-shed code, meaning the operation never started and the call
-// can be retried regardless of idempotency.
+// IsBusyFault reports whether err classifies to a retryable overload
+// fault (admission shed, upstream unavailable, or a plain Server.Busy off
+// the wire), meaning the operation never started and the call can be
+// retried regardless of idempotency.
 func IsBusyFault(err error) bool {
-	var f *soap.Fault
-	return errors.As(err, &f) && f.Code == FaultCodeBusy
+	f := fault.ClassifyError(err)
+	return f != nil && errors.Is(f, fault.Retryable)
 }
 
 // RetryPolicy governs client-side retries of failed exchanges:
@@ -184,13 +187,12 @@ func retryable(err error, idempotent bool) bool {
 	if errors.As(err, &dialErr) {
 		return true // never sent: always safe
 	}
-	if IsBusyFault(err) {
-		return true // shed at admission: never started
-	}
-	var f *soap.Fault
-	if errors.As(err, &f) {
-		// Other SOAP faults are definitive answers, not transport losses.
-		return false
+	if f := fault.ClassifyError(err); f != nil {
+		// A fault is a definitive answer, not a transport loss. The only
+		// faults worth re-sending are the ones whose operation is known
+		// never to have started — exactly what fault.Retryable matches
+		// (admission shed, upstream unavailable, plain busy).
+		return errors.Is(f, fault.Retryable)
 	}
 	// Transport error after the request went out (connection reset, read
 	// deadline on the conn, truncated response): the server may have

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/admin"
+	"repro/internal/fault"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
 	"repro/internal/registry"
@@ -175,6 +176,10 @@ type ServerStats struct {
 	DiffMisses     int64 // differential-deserialization cache misses
 	AppStage       stage.Stats
 
+	// FaultCodes tallies emitted faults (whole-message and per-item) by
+	// wire fault code, classified at the envelope edge by internal/fault.
+	FaultCodes []fault.CodeCount
+
 	// Resilience counts timeouts, cancellations and shed admissions
 	// observed by the server's guards.
 	Resilience metrics.ResilienceSummary
@@ -211,6 +216,7 @@ type Server struct {
 	packed     atomic.Int64
 	faults     atomic.Int64
 	itemFaults atomic.Int64
+	faultCodes fault.Counters
 	resil      metrics.Resilience
 
 	// Per-phase protocol-thread timings, for the overhead-breakdown
@@ -314,6 +320,7 @@ func (s *Server) AdminStats() admin.Stats {
 		ItemFaults: st.ItemFaults,
 		DiffHits:   st.DiffHits,
 		DiffMisses: st.DiffMisses,
+		FaultCodes: admin.FaultCodes(st.FaultCodes),
 	}
 	if out.Idle = out.Workers - out.Busy; out.Idle < 0 {
 		out.Idle = 0
@@ -391,6 +398,7 @@ func (s *Server) Stats() ServerStats {
 	if s.diff != nil {
 		st.DiffHits, st.DiffMisses = s.diff.stats()
 	}
+	st.FaultCodes = s.faultCodes.Snapshot()
 	st.Resilience = s.resil.Snapshot()
 	st.ParsePhase = s.phaseParse.Snapshot()
 	st.DispatchPhase = s.phaseDispatch.Snapshot()
@@ -782,8 +790,8 @@ func (s *Server) submitApp(task stage.Task) error {
 func (s *Server) admissionFault(err error) *soap.Fault {
 	if errors.Is(err, stage.ErrQueueFull) {
 		s.resil.Shed.Inc()
-		return &soap.Fault{Code: FaultCodeBusy,
-			String: fmt.Sprintf("application stage queue full after %v admission wait", s.cfg.AdmissionTimeout)}
+		return fault.ToSOAP(fault.Shedf(
+			"application stage queue full after %v admission wait", s.cfg.AdmissionTimeout))
 	}
 	return soap.ServerFault("application stage unavailable: %v", err)
 }
@@ -797,12 +805,14 @@ func (s *Server) abandonResult(ctx context.Context, req *rpcRequest) *rpcResult 
 	res := &rpcResult{id: req.id, service: req.service, op: req.op}
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 		s.resil.Timeouts.Inc()
-		res.fault = &soap.Fault{Code: FaultCodeTimeout,
-			String: fmt.Sprintf("deadline expired before %s.%s finished", req.service, req.op)}
+		res.fault = fault.ToSOAP(fault.Timeoutf(
+			"deadline expired before %s.%s finished", req.service, req.op).
+			With(fault.KeyOp, req.service+"."+req.op))
 	} else {
 		s.resil.Cancellations.Inc()
-		res.fault = &soap.Fault{Code: FaultCodeCancelled,
-			String: fmt.Sprintf("caller cancelled before %s.%s finished", req.service, req.op)}
+		res.fault = fault.ToSOAP(fault.Cancelledf(
+			"caller cancelled before %s.%s finished", req.service, req.op).
+			With(fault.KeyOp, req.service+"."+req.op))
 	}
 	return res
 }
@@ -913,8 +923,8 @@ func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *r
 		slot, r := i, req
 		task := s.appTask(ctx, r, func() { done <- packedDone{slot, s.execute(ctx, r, rctx)} })
 		if err := s.submitApp(task); err != nil {
-			fault := s.admissionFault(err)
-			results[i] = &rpcResult{id: req.id, service: req.service, op: req.op, fault: fault}
+			sf := s.admissionFault(err)
+			results[i] = &rpcResult{id: req.id, service: req.service, op: req.op, fault: sf}
 			continue
 		}
 		pending++
@@ -948,6 +958,7 @@ func (s *Server) dispatchPacked(ctx context.Context, pm *xmldom.Element, rctx *r
 	for _, r := range results {
 		if r.fault != nil {
 			s.itemFaults.Add(1)
+			s.faultCodes.NoteSOAP(r.fault)
 		}
 	}
 	respEl, err := buildPackedResponse(results, s.namespaceOf)
@@ -975,9 +986,9 @@ func (s *Server) execute(ctx context.Context, req *rpcRequest, rctx *registry.Co
 		inv registry.Context
 	}{res: rpcResult{id: req.id, service: req.service, op: req.op}}
 	res := &frame.res
-	op, fault := s.cfg.Container.Lookup(req.service, req.op)
-	if fault != nil {
-		res.fault = fault
+	op, lookupFault := s.cfg.Container.Lookup(req.service, req.op)
+	if lookupFault != nil {
+		res.fault = lookupFault
 		return res
 	}
 	s.requests.Add(1)
@@ -1030,12 +1041,14 @@ func (s *Server) execute(ctx context.Context, req *rpcRequest, rctx *registry.Co
 		s.recordOp(req.service, req.op, time.Since(execStart))
 		if errors.Is(ctx.Err(), context.Canceled) {
 			s.resil.Cancellations.Inc()
-			res.fault = &soap.Fault{Code: FaultCodeCancelled,
-				String: fmt.Sprintf("caller cancelled %s.%s", req.service, req.op)}
+			res.fault = fault.ToSOAP(fault.Cancelledf(
+				"caller cancelled %s.%s", req.service, req.op).
+				With(fault.KeyOp, req.service+"."+req.op))
 		} else {
 			s.resil.Timeouts.Inc()
-			res.fault = &soap.Fault{Code: FaultCodeTimeout,
-				String: fmt.Sprintf("operation %s.%s exceeded its deadline", req.service, req.op)}
+			res.fault = fault.ToSOAP(fault.Timeoutf(
+				"operation %s.%s exceeded its deadline", req.service, req.op).
+				With(fault.KeyOp, req.service+"."+req.op))
 		}
 		return res
 	}
@@ -1047,21 +1060,23 @@ func (s *Server) execute(ctx context.Context, req *rpcRequest, rctx *registry.Co
 // reclassified as the matching deadline/cancel fault — the handler aborted
 // because we told it to, and the client should see that, not an opaque
 // "context deadline exceeded".
-func (s *Server) finishExecute(res *rpcResult, rctx, invCtx *registry.Context, results []soapenc.Field, fault *soap.Fault) *rpcResult {
-	if fault != nil {
-		if fault.Code == soap.FaultServer {
+func (s *Server) finishExecute(res *rpcResult, rctx, invCtx *registry.Context, results []soapenc.Field, sf *soap.Fault) *rpcResult {
+	if sf != nil {
+		if sf.Code == soap.FaultServer {
 			switch invCtx.Context().Err() {
 			case context.DeadlineExceeded:
 				s.resil.Timeouts.Inc()
-				fault = &soap.Fault{Code: FaultCodeTimeout,
-					String: fmt.Sprintf("deadline expired before %s.%s finished", res.service, res.op)}
+				sf = fault.ToSOAP(fault.Timeoutf(
+					"deadline expired before %s.%s finished", res.service, res.op).
+					With(fault.KeyOp, res.service+"."+res.op))
 			case context.Canceled:
 				s.resil.Cancellations.Inc()
-				fault = &soap.Fault{Code: FaultCodeCancelled,
-					String: fmt.Sprintf("caller cancelled before %s.%s finished", res.service, res.op)}
+				sf = fault.ToSOAP(fault.Cancelledf(
+					"caller cancelled before %s.%s finished", res.service, res.op).
+					With(fault.KeyOp, res.service+"."+res.op))
 			}
 		}
-		res.fault = fault
+		res.fault = sf
 		return res
 	}
 	res.results = results
@@ -1085,6 +1100,7 @@ func (s *Server) namespaceOf(service string) string {
 // HTTP binding, in the requested envelope version.
 func (s *Server) faultResponse(f *soap.Fault, v soap.Version) *httpx.Response {
 	s.faults.Add(1)
+	s.faultCodes.NoteSOAP(f)
 	return s.envelopeResponse(500, f.EnvelopeFor(v))
 }
 

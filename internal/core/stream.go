@@ -336,6 +336,7 @@ func (c *streamCollector) waitSlot(ctx context.Context, slot int) (degraded bool
 func (s *Server) dispatchPackedStream(ctx context.Context, d *soap.StreamDecoder, pm *xmldom.Element, rctx *registry.Context, defaultService, target string, v soap.Version) (*httpx.Response, time.Duration, *soap.Fault) {
 	col := newStreamCollector()
 	asm := newPackedAssembler()
+	asm.faultCodes = &s.faultCodes
 	defer asm.release()
 	reqs := make([]*rpcRequest, 0, 8)
 	arena := d.Arena()

@@ -308,7 +308,9 @@ func (g *Gateway) coalesce(ctx context.Context, req *httpx.Request, defaultServi
 	case out = <-call.done:
 	case <-memberCtx.Done():
 		g.degraded.Inc()
-		out = callOutcome{fault: degradeFault(memberCtx, sc.Entry)}
+		df := degradeFault(memberCtx, sc.Entry)
+		g.faultCodes.NoteSOAP(df)
+		out = callOutcome{fault: df}
 	}
 	if tr := g.cfg.Tracer; tr.Enabled() {
 		tr.Record(trace.Span{Trace: trace.FromContext(ctx), Stage: trace.StageGatewayCoalesceWait,

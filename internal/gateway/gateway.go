@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/admin"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/httpx"
 	"repro/internal/metrics"
 	"repro/internal/registry"
@@ -141,6 +142,7 @@ type Gateway struct {
 	passthroughs metrics.Counter // of the proxied, spliced zero-copy (no envelope parse)
 	faults       metrics.Counter // whole-message fault responses
 	itemFaults   metrics.Counter // per-item faults in packed responses
+	faultCodes   fault.Counters  // faults the gateway itself originated, per wire code
 	scattered    metrics.Counter // sub-batches sent
 	failovers    metrics.Counter // sub-batches re-sent to another backend
 	degraded     metrics.Counter // slots degraded at the deadline
@@ -386,6 +388,10 @@ type Stats struct {
 	Passthrough int64
 	Faults      int64
 	ItemFaults  int64
+	// FaultCodes tallies faults the gateway itself originated (parse
+	// faults, degrades, shard failures), per wire fault code. Backend
+	// faults relayed as raw bytes are not parsed and not counted here.
+	FaultCodes []fault.CodeCount `json:",omitempty"`
 
 	Scattered int64
 	Failovers int64
@@ -419,6 +425,7 @@ func (g *Gateway) Stats() Stats {
 		Passthrough: g.passthroughs.Load(),
 		Faults:      g.faults.Load(),
 		ItemFaults:  g.itemFaults.Load(),
+		FaultCodes:  g.faultCodes.Snapshot(),
 		Scattered:   g.scattered.Load(),
 		Failovers:   g.failovers.Load(),
 		Degraded:    g.degraded.Load(),
@@ -456,6 +463,7 @@ func (g *Gateway) AdminStats() admin.Stats {
 		Packed:     g.packed.Load(),
 		Faults:     g.faults.Load(),
 		ItemFaults: g.itemFaults.Load(),
+		FaultCodes: admin.FaultCodes(g.faultCodes.Snapshot()),
 	}
 	if g.adminState != nil {
 		out.Weight, out.Draining = g.adminState.Snapshot()

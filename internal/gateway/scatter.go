@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/httpx"
 	"repro/internal/soap"
 	"repro/internal/trace"
@@ -64,17 +65,18 @@ func (g *Gateway) Handle(ctx context.Context, req *httpx.Request) *httpx.Respons
 	}
 
 	scatterStart := time.Now()
-	sr, fault := core.ParseScatterRequest(req.Body, defaultService)
-	if fault != nil {
+	sr, parseFault := core.ParseScatterRequest(req.Body, defaultService)
+	if parseFault != nil {
 		// Whole-message faults preserve the direct server's precedence and
 		// bytes: decode errors answer in SOAP 1.1, body-shape faults in the
 		// request's own version.
 		g.faults.Inc()
+		g.faultCodes.NoteSOAP(parseFault)
 		v := soap.V11
 		if sr != nil {
 			v = sr.Version
 		}
-		return core.GatewayFaultResponse(fault, v)
+		return core.GatewayFaultResponse(parseFault, v)
 	}
 	g.envelopes.Inc()
 	if !sr.Packed {
@@ -182,6 +184,7 @@ func (g *Gateway) scatterGather(ctx context.Context, req *httpx.Request, sr *cor
 	col := core.NewGatherCollector(ids)
 	for _, e := range sr.Entries {
 		if e.Fault != nil {
+			g.faultCodes.NoteSOAP(e.Fault)
 			col.Fail(e.Slot, e.Fault)
 		}
 	}
@@ -198,11 +201,15 @@ func (g *Gateway) scatterGather(ctx context.Context, req *httpx.Request, sr *cor
 	gatherStart := time.Now()
 	resp, itemFaults, err := col.Assemble(ctx, sr.Version, func(slot int) *soap.Fault {
 		g.degraded.Inc()
-		return degradeFault(ctx, sr.Entries[slot])
+		df := degradeFault(ctx, sr.Entries[slot])
+		g.faultCodes.NoteSOAP(df)
+		return df
 	})
 	if err != nil {
 		g.faults.Inc()
-		return core.GatewayFaultResponse(soap.ServerFault("assembling packed response: %v", err), sr.Version)
+		af := soap.ServerFault("assembling packed response: %v", err)
+		g.faultCodes.NoteSOAP(af)
+		return core.GatewayFaultResponse(af, sr.Version)
 	}
 	g.itemFaults.Add(int64(itemFaults))
 	if tr.Enabled() {
@@ -217,11 +224,13 @@ func (g *Gateway) scatterGather(ctx context.Context, req *httpx.Request, sr *cor
 // entry (abandonResult).
 func degradeFault(ctx context.Context, e *core.ScatterEntry) *soap.Fault {
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-		return &soap.Fault{Code: core.FaultCodeTimeout,
-			String: fmt.Sprintf("deadline expired before %s.%s finished", e.Service, e.Op)}
+		return fault.ToSOAP(fault.Timeoutf(
+			"deadline expired before %s.%s finished", e.Service, e.Op).
+			With(fault.KeyOp, e.Service+"."+e.Op))
 	}
-	return &soap.Fault{Code: core.FaultCodeCancelled,
-		String: fmt.Sprintf("caller cancelled before %s.%s finished", e.Service, e.Op)}
+	return fault.ToSOAP(fault.Cancelledf(
+		"caller cancelled before %s.%s finished", e.Service, e.Op).
+		With(fault.KeyOp, e.Service+"."+e.Op))
 }
 
 // allIdempotent reports whether every operation in the shard is marked
@@ -269,6 +278,7 @@ func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterReq
 	if err != nil {
 		f := soap.ServerFault("building sub-batch: %v", err)
 		for _, e := range shard {
+			g.faultCodes.NoteSOAP(f)
 			col.Fail(e.Slot, f)
 		}
 		return
@@ -292,13 +302,17 @@ func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterReq
 		b.noteFailure(g.cfg.FailureThreshold, g.cfg.ReprobeAfter)
 		if attempt >= attempts || ctx.Err() != nil || !core.RetryableError(err, idem) {
 			for _, e := range shard {
-				col.Fail(e.Slot, shardFault(ctx, e, err))
+				sf := shardFault(ctx, e, err)
+				g.faultCodes.NoteSOAP(sf)
+				col.Fail(e.Slot, sf)
 			}
 			return
 		}
 		if sleepCtx(ctx, p.Backoff(attempt)) != nil {
 			for _, e := range shard {
-				col.Fail(e.Slot, shardFault(ctx, e, err))
+				sf := shardFault(ctx, e, err)
+				g.faultCodes.NoteSOAP(sf)
+				col.Fail(e.Slot, sf)
 			}
 			return
 		}
@@ -314,15 +328,16 @@ func (g *Gateway) sendShard(ctx context.Context, b *backend, sr *core.ScatterReq
 
 // shardFault maps a failed sub-batch to its per-item fault: the caller's
 // own expiry uses the server's deadline/cancel texts (byte parity with a
-// direct server degrading the same entry); anything else is Server.Busy —
-// the work never produced a response, and re-sending the entry is the
-// client's call.
+// direct server degrading the same entry); anything else is
+// upstream-unavailable (Server.Busy on the wire) — the work never produced
+// a response, and re-sending the entry is the client's call.
 func shardFault(ctx context.Context, e *core.ScatterEntry, err error) *soap.Fault {
 	if ctx.Err() != nil {
 		return degradeFault(ctx, e)
 	}
-	return &soap.Fault{Code: core.FaultCodeBusy,
-		String: fmt.Sprintf("no backend available for %s.%s: %v", e.Service, e.Op, err)}
+	return fault.ToSOAP(fault.Upstreamf(
+		"no backend available for %s.%s: %v", e.Service, e.Op, err).
+		With(fault.KeyOp, e.Service+"."+e.Op))
 }
 
 // sleepCtx waits out one backoff, honoring ctx.
